@@ -1,0 +1,164 @@
+//! Criterion benchmarks of the URCL framework components: replay-buffer
+//! operations, STMixup, the five augmentations, RMIR sampling and a full
+//! GraphWaveNet forward — the per-step costs behind Fig. 7. Includes the
+//! ablation sweeps DESIGN.md calls out (buffer capacity, diffusion steps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use urcl_core::{rmir_sample, st_mixup, Augmentation, ReplayBuffer};
+use urcl_graph::{random_geometric, SensorNetwork, SupportSet};
+use urcl_models::{Backbone, GraphWaveNet, GwnConfig};
+use urcl_stdata::{stack_samples, Batch, Sample};
+use urcl_tensor::autodiff::{Session, Tape};
+use urcl_tensor::{ParamStore, Rng};
+
+const NODES: usize = 24;
+const STEPS: usize = 12;
+const CHANNELS: usize = 2;
+
+fn make_net(rng: &mut Rng) -> SensorNetwork {
+    random_geometric(NODES, 0.3, rng)
+}
+
+fn make_sample(rng: &mut Rng) -> Sample {
+    Sample {
+        x: rng.uniform_tensor(&[STEPS, NODES, CHANNELS], 0.0, 1.0),
+        y: rng.uniform_tensor(&[1, NODES], 0.0, 1.0),
+    }
+}
+
+fn make_batch(rng: &mut Rng, b: usize) -> Batch {
+    let samples: Vec<Sample> = (0..b).map(|_| make_sample(rng)).collect();
+    stack_samples(&samples)
+}
+
+fn make_model(rng: &mut Rng, net: &SensorNetwork) -> (GraphWaveNet, ParamStore) {
+    let mut store = ParamStore::new();
+    let cfg = GwnConfig::small(NODES, CHANNELS, STEPS, 1);
+    let model = GraphWaveNet::new(&mut store, rng, net, cfg);
+    (model, store)
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_buffer");
+    for &cap in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("push", cap), &cap, |bench, &cap| {
+            let mut rng = Rng::seed_from_u64(1);
+            let sample = make_sample(&mut rng);
+            let mut buf = ReplayBuffer::new(cap);
+            bench.iter(|| buf.push(black_box(sample.clone())));
+        });
+        group.bench_with_input(BenchmarkId::new("uniform8", cap), &cap, |bench, &cap| {
+            let mut rng = Rng::seed_from_u64(2);
+            let mut buf = ReplayBuffer::new(cap);
+            for _ in 0..cap {
+                buf.push(make_sample(&mut rng));
+            }
+            bench.iter(|| black_box(buf.sample_uniform(8, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixup(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(3);
+    let cur = make_batch(&mut rng, 8);
+    let rep = make_batch(&mut rng, 8);
+    c.bench_function("st_mixup_b8", |bench| {
+        bench.iter(|| black_box(st_mixup(&cur, &rep, 0.8, &mut rng)));
+    });
+}
+
+fn bench_augmentations(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(4);
+    let net = make_net(&mut rng);
+    let batch = make_batch(&mut rng, 8);
+    let mut group = c.benchmark_group("augmentation");
+    let cases: [(&str, Augmentation); 5] = [
+        ("drop_nodes", Augmentation::DropNodes { ratio: 0.1 }),
+        ("drop_edges", Augmentation::DropEdges { ratio: 0.2 }),
+        ("subgraph", Augmentation::SubGraph { keep_ratio: 0.8 }),
+        (
+            "add_edges",
+            Augmentation::AddEdges {
+                ratio: 0.05,
+                min_hops: 3,
+            },
+        ),
+        ("time_shift", Augmentation::TimeShift),
+    ];
+    for (name, aug) in cases {
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(aug.apply(&batch.x, &net, 2, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rmir(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(5);
+    let net = make_net(&mut rng);
+    let (model, store) = make_model(&mut rng, &net);
+    let mut buffer = ReplayBuffer::new(64);
+    for _ in 0..64 {
+        buffer.push(make_sample(&mut rng));
+    }
+    let current = make_batch(&mut rng, 8);
+    let pool: Vec<usize> = (0..48).collect();
+    c.bench_function("rmir_sample_pool48_b8", |bench| {
+        bench.iter(|| {
+            black_box(rmir_sample(
+                &buffer, &pool, &current, &model, &store, 3e-3, 24, 8,
+            ))
+        });
+    });
+}
+
+fn bench_model_forward(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(6);
+    let net = make_net(&mut rng);
+    let (model, store) = make_model(&mut rng, &net);
+    let batch = make_batch(&mut rng, 8);
+    c.bench_function("gwn_forward_b8", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let mut sess = Session::new(&tape, &store);
+            let x = sess.input(batch.x.clone());
+            black_box(model.forward(&mut sess, x).value())
+        });
+    });
+    c.bench_function("gwn_fwd_bwd_b8", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let mut sess = Session::new(&tape, &store);
+            let x = sess.input(batch.x.clone());
+            let y = sess.input(batch.y.clone());
+            let loss = model.forward(&mut sess, x).sub(y).abs().mean_all();
+            black_box(tape.backward(loss))
+        });
+    });
+}
+
+fn bench_diffusion_steps(c: &mut Criterion) {
+    // Ablation: GCN support construction cost vs diffusion steps K.
+    let mut rng = Rng::seed_from_u64(7);
+    let net = make_net(&mut rng);
+    let mut group = c.benchmark_group("diffusion_supports");
+    for &k in &[1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
+            bench.iter(|| black_box(SupportSet::diffusion(&net, k)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_buffer,
+    bench_mixup,
+    bench_augmentations,
+    bench_rmir,
+    bench_model_forward,
+    bench_diffusion_steps
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the tensor substrate's hot kernels: the
+//! operations every training step of every experiment runs through.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use urcl_tensor::autodiff::{Session, Tape};
+use urcl_tensor::{ParamStore, Rng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = Rng::seed_from_u64(1);
+        let a = rng.normal_tensor(&[n, n], 0.0, 1.0);
+        let b = rng.normal_tensor(&[n, n], 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_broadcast_matmul(c: &mut Criterion) {
+    // The graph-convolution pattern: A[N,N] @ X[B*T, N, C].
+    let mut rng = Rng::seed_from_u64(2);
+    let a = rng.normal_tensor(&[24, 24], 0.0, 1.0);
+    let x = rng.normal_tensor(&[64, 24, 16], 0.0, 1.0);
+    c.bench_function("gcn_support_matmul_24n_64bt_16c", |bench| {
+        bench.iter(|| black_box(a.matmul(&x)));
+    });
+}
+
+fn bench_conv1d(c: &mut Criterion) {
+    // The gated-TCN pattern: [B*N, C, T] dilated conv.
+    let mut rng = Rng::seed_from_u64(3);
+    let x = rng.normal_tensor(&[8 * 24, 16, 12], 0.0, 1.0);
+    let w = rng.normal_tensor(&[16, 16, 2], 0.0, 0.2);
+    c.bench_function("conv1d_dilated_192b_16c_12t", |bench| {
+        bench.iter(|| black_box(x.conv1d(&w, 2, 0)));
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(4);
+    let x = rng.normal_tensor(&[64, 64], 0.0, 2.0);
+    c.bench_function("softmax_64x64", |bench| {
+        bench.iter(|| black_box(x.softmax(1)));
+    });
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    // A representative small training step: 3-layer MLP forward+backward.
+    let mut store = ParamStore::new();
+    let mut rng = Rng::seed_from_u64(5);
+    let w1 = store.add("w1", rng.glorot(&[64, 64]));
+    let w2 = store.add("w2", rng.glorot(&[64, 64]));
+    let w3 = store.add("w3", rng.glorot(&[64, 1]));
+    let x = rng.normal_tensor(&[32, 64], 0.0, 1.0);
+    let y = rng.normal_tensor(&[32, 1], 0.0, 1.0);
+    c.bench_function("mlp_fwd_bwd_32x64", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let mut sess = Session::new(&tape, &store);
+            let xv = sess.input(x.clone());
+            let yv = sess.input(y.clone());
+            let h = xv
+                .matmul(sess.param(w1))
+                .tanh()
+                .matmul(sess.param(w2))
+                .tanh()
+                .matmul(sess.param(w3));
+            let loss = h.sub(yv).abs().mean_all();
+            black_box(tape.backward(loss));
+        });
+    });
+}
+
+fn bench_pearson(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(6);
+    let a = rng.normal_tensor(&[12 * 24 * 2], 0.0, 1.0);
+    let b = rng.normal_tensor(&[12 * 24 * 2], 0.0, 1.0);
+    c.bench_function("pearson_window", |bench| {
+        bench.iter(|| black_box(a.pearson(&b)));
+    });
+}
+
+fn bench_tensor_construction(c: &mut Criterion) {
+    c.bench_function("zeros_64k", |bench| {
+        bench.iter(|| black_box(Tensor::zeros(&[256, 256])));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_batched_broadcast_matmul,
+    bench_conv1d,
+    bench_softmax,
+    bench_forward_backward,
+    bench_pearson,
+    bench_tensor_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Runs every experiment in sequence (Tables I–IV, Figs. 6–8), printing
+//! paper-style rows and writing JSON to `results/`. Pass `--quick` for a
+//! fast smoke pass.
+use urcl_bench::{experiments, Effort};
+fn main() {
+    let effort = Effort::from_args();
+    experiments::table1();
+    experiments::table2(&effort);
+    experiments::table3(&effort);
+    experiments::table4(&effort);
+    experiments::fig6(&effort);
+    experiments::fig7(&effort);
+    experiments::fig8(&effort);
+    println!("All experiments complete.");
+}

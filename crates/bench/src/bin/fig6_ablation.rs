@@ -1,0 +1,6 @@
+//! Regenerates Fig. 6 (ablation study: w/o_STU, w/o_RMIR, w/o_STA,
+//! w/o_GCL). Pass `--quick` for a fast smoke pass.
+use urcl_bench::Effort;
+fn main() {
+    urcl_bench::experiments::fig6(&Effort::from_args());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7 (training and inference time on PEMS04). Pass
+//! `--quick` for a fast smoke pass.
+use urcl_bench::Effort;
+fn main() {
+    urcl_bench::experiments::fig7(&Effort::from_args());
+}

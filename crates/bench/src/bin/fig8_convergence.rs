@@ -1,0 +1,6 @@
+//! Regenerates Fig. 8 (training-loss convergence of URCL). Pass
+//! `--quick` for a fast smoke pass.
+use urcl_bench::Effort;
+fn main() {
+    urcl_bench::experiments::fig8(&Effort::from_args());
+}

@@ -1,0 +1,25 @@
+//! Ad-hoc calibration probe: PEMS08 only, all strategies and ablations.
+use urcl_bench::{format_row, run_deep_model, set_header, Effort, ExperimentContext, ModelKind};
+use urcl_core::{Ablation, Strategy, TrainerConfig};
+use urcl_stdata::DatasetConfig;
+
+fn main() {
+    let effort = Effort::from_args();
+    let ctx = ExperimentContext::new(DatasetConfig::pems08());
+    println!("{}", set_header());
+    let mk = |strategy, ablation| {
+        effort.apply(TrainerConfig { strategy, ablation, ..TrainerConfig::default() })
+    };
+    let runs: Vec<(&str, TrainerConfig)> = vec![
+        ("OneFitAll", mk(Strategy::OneFitAll, Ablation::default())),
+        ("FinetuneST", mk(Strategy::FinetuneSt, Ablation::default())),
+        ("URCL", mk(Strategy::Urcl, Ablation::default())),
+        ("URCL w/o GCL", mk(Strategy::Urcl, Ablation { graphcl: false, ..Ablation::default() })),
+        ("URCL w/o STU", mk(Strategy::Urcl, Ablation { mixup: false, ..Ablation::default() })),
+        ("URCL noGCLSTU", mk(Strategy::Urcl, Ablation { graphcl: false, mixup: false, ..Ablation::default() })),
+    ];
+    for (label, cfg) in runs {
+        let report = run_deep_model(ModelKind::GraphWaveNet, &ctx, cfg, 7);
+        println!("{}", format_row(label, &report));
+    }
+}

@@ -1,0 +1,6 @@
+//! Design-choice sweeps from DESIGN.md §4: buffer capacity, diffusion
+//! steps, mixup α and replay-vs-EWC. Pass `--quick` for a fast pass.
+use urcl_bench::Effort;
+fn main() {
+    urcl_bench::experiments::sweeps(&Effort::from_args());
+}

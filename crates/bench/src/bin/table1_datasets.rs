@@ -1,0 +1,4 @@
+//! Regenerates Table I (dataset statistics).
+fn main() {
+    urcl_bench::experiments::table1();
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table II (training on streaming data: OneFitAll vs
+//! FinetuneST vs URCL on PEMS-BAY and PEMS08). Pass `--quick` for a fast
+//! smoke pass.
+use urcl_bench::Effort;
+fn main() {
+    urcl_bench::experiments::table2(&Effort::from_args());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table III (overall accuracy vs six baselines on four
+//! datasets). Pass `--quick` for a fast smoke pass.
+use urcl_bench::Effort;
+fn main() {
+    urcl_bench::experiments::table3(&Effort::from_args());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table IV (URCL with DCRNN / GeoMAN / GraphWaveNet
+//! backbones). Pass `--quick` for a fast smoke pass.
+use urcl_bench::Effort;
+fn main() {
+    urcl_bench::experiments::table4(&Effort::from_args());
+}

@@ -1,0 +1,133 @@
+//! Evaluation metrics (Eq. 30): MAE and RMSE.
+
+use urcl_tensor::Tensor;
+
+/// Mean absolute error between two equal-shaped tensors.
+pub fn mae(pred: &Tensor, truth: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "metric shape mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.sub(truth).map(f32::abs).mean_all()
+}
+
+/// Root mean square error between two equal-shaped tensors.
+pub fn rmse(pred: &Tensor, truth: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "metric shape mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.sub(truth).map(|d| d * d).mean_all().sqrt()
+}
+
+/// Accumulates MAE/RMSE over minibatches, weighting by element count so
+/// the final numbers equal a single pass over all data.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    abs_sum: f64,
+    sq_sum: f64,
+    count: u64,
+}
+
+impl Metrics {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one prediction batch.
+    pub fn update(&mut self, pred: &Tensor, truth: &Tensor) {
+        assert_eq!(pred.shape(), truth.shape(), "metric shape mismatch");
+        for (p, t) in pred.data().iter().zip(truth.data()) {
+            let d = (p - t) as f64;
+            self.abs_sum += d.abs();
+            self.sq_sum += d * d;
+            self.count += 1;
+        }
+    }
+
+    /// Number of accumulated elements.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean absolute error so far.
+    pub fn mae(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.abs_sum / self.count as f64) as f32
+        }
+    }
+
+    /// Root mean square error so far.
+    pub fn rmse(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sq_sum / self.count as f64).sqrt() as f32
+        }
+    }
+
+    /// Returns (MAE, RMSE) scaled by `scale` — converts normalized-space
+    /// errors back into physical units under min-max scaling.
+    pub fn scaled(&self, scale: f32) -> (f32, f32) {
+        (self.mae() * scale, self.rmse() * scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_rmse_known_values() {
+        let p = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        let t = Tensor::from_vec(vec![1.0, 3.0, 1.0, 4.0], &[4]);
+        // errors: 0, 1, 2, 0
+        assert!((mae(&p, &t) - 0.75).abs() < 1e-6);
+        assert!((rmse(&p, &t) - (5.0f32 / 4.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulator_matches_single_pass() {
+        let p1 = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let t1 = Tensor::from_vec(vec![2.0, 2.0], &[2]);
+        let p2 = Tensor::from_vec(vec![0.0], &[1]);
+        let t2 = Tensor::from_vec(vec![3.0], &[1]);
+        let mut m = Metrics::new();
+        m.update(&p1, &t1);
+        m.update(&p2, &t2);
+        let pall = Tensor::from_vec(vec![1.0, 2.0, 0.0], &[3]);
+        let tall = Tensor::from_vec(vec![2.0, 2.0, 3.0], &[3]);
+        assert!((m.mae() - mae(&pall, &tall)).abs() < 1e-6);
+        assert!((m.rmse() - rmse(&pall, &tall)).abs() < 1e-6);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let p = Tensor::from_vec(vec![1.0, 5.0, -2.0, 0.5], &[4]);
+        let t = Tensor::zeros(&[4]);
+        assert!(rmse(&p, &t) >= mae(&p, &t));
+    }
+
+    #[test]
+    fn scaled_converts_units() {
+        let mut m = Metrics::new();
+        m.update(
+            &Tensor::from_vec(vec![0.5], &[1]),
+            &Tensor::from_vec(vec![0.0], &[1]),
+        );
+        let (mae_s, rmse_s) = m.scaled(60.0);
+        assert!((mae_s - 30.0).abs() < 1e-4);
+        assert!((rmse_s - 30.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.mae(), 0.0);
+        assert_eq!(m.rmse(), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Checkpointing: save and restore trained parameters as JSON.
+//!
+//! A streaming deployment periodically persists the model between
+//! incremental sets; this module provides that, plus round-trip
+//! verification. The format is a versioned JSON document holding the
+//! parameter store (names, shapes, values) so checkpoints are
+//! inspectable with standard tooling.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use urcl_tensor::ParamStore;
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A versioned model checkpoint.
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version (see [`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Free-form model description (backbone name, dataset, …).
+    pub description: String,
+    /// The trained parameters.
+    pub store: ParamStore,
+}
+
+impl std::fmt::Debug for Checkpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Checkpoint")
+            .field("version", &self.version)
+            .field("description", &self.description)
+            .field("params", &self.store.len())
+            .field("scalars", &self.store.num_scalars())
+            .finish()
+    }
+}
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON or schema mismatch.
+    Format(serde_json::Error),
+    /// The checkpoint's version is unsupported.
+    Version(u32),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "checkpoint format error: {e}"),
+            PersistError::Version(v) => write!(
+                f,
+                "unsupported checkpoint version {v} (supported: {CHECKPOINT_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Writes a checkpoint to `path`.
+pub fn save_checkpoint(
+    path: impl AsRef<Path>,
+    description: &str,
+    store: &ParamStore,
+) -> Result<(), PersistError> {
+    let ckpt = Checkpoint {
+        version: CHECKPOINT_VERSION,
+        description: description.to_string(),
+        store: store.clone(),
+    };
+    let json = serde_json::to_string(&ckpt)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a checkpoint from `path`, validating the format version.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, PersistError> {
+    let json = std::fs::read_to_string(path)?;
+    let ckpt: Checkpoint = serde_json::from_str(&json)?;
+    if ckpt.version != CHECKPOINT_VERSION {
+        return Err(PersistError::Version(ckpt.version));
+    }
+    Ok(ckpt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urcl_tensor::{Rng, Tensor};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("urcl-test-{}-{name}.json", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from_u64(1);
+        let w = store.add("enc.w", rng.glorot(&[4, 3]));
+        let b = store.add("enc.b", Tensor::from_vec(vec![0.5, -0.5], &[2]));
+        let path = temp_path("roundtrip");
+        save_checkpoint(&path, "unit test", &store).unwrap();
+        let ckpt = load_checkpoint(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ckpt.version, CHECKPOINT_VERSION);
+        assert_eq!(ckpt.description, "unit test");
+        assert_eq!(ckpt.store.len(), 2);
+        assert_eq!(ckpt.store.value(w), store.value(w));
+        assert_eq!(ckpt.store.value(b), store.value(b));
+        assert_eq!(ckpt.store.name(w), "enc.w");
+    }
+
+    #[test]
+    fn restored_model_predicts_identically() {
+        use urcl_graph::random_geometric;
+        use urcl_models::{Backbone, GraphWaveNet, GwnConfig};
+        use urcl_tensor::autodiff::{Session, Tape};
+
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from_u64(2);
+        let net = random_geometric(4, 0.5, &mut rng);
+        let mut cfg = GwnConfig::small(4, 1, 6, 1);
+        cfg.layers = 2;
+        let model = GraphWaveNet::new(&mut store, &mut rng, &net, cfg);
+        let x = rng.uniform_tensor(&[2, 6, 4, 1], 0.0, 1.0);
+
+        let predict = |s: &ParamStore| {
+            let tape = Tape::new();
+            let mut sess = Session::new(&tape, s);
+            let xv = sess.input(x.clone());
+            model.forward(&mut sess, xv).value()
+        };
+        let before = predict(&store);
+
+        let path = temp_path("model");
+        save_checkpoint(&path, "gwn", &store).unwrap();
+        let restored = load_checkpoint(&path).unwrap().store;
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(predict(&restored), before);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let path = temp_path("badver");
+        std::fs::write(
+            &path,
+            r#"{"version": 999, "description": "", "store": {"params": []}}"#,
+        )
+        .unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, PersistError::Version(999)));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        let path = temp_path("malformed");
+        std::fs::write(&path, "not json").unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_checkpoint("/nonexistent/urcl.ckpt").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

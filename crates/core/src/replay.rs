@@ -1,0 +1,165 @@
+//! The replay buffer ℬ: an explicit memory holding a subset of previously
+//! learned observations (Section IV-B). Organised as a bounded FIFO queue
+//! of size 256 in the paper (Section V-A4) — once full, the oldest
+//! observation is evicted.
+
+use std::collections::VecDeque;
+use urcl_stdata::{stack_samples, Batch, Sample};
+use urcl_tensor::Rng;
+
+/// Bounded FIFO buffer of previously trained observations.
+#[derive(Clone)]
+pub struct ReplayBuffer {
+    entries: VecDeque<Sample>,
+    capacity: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer with the given capacity (the paper uses 256).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer capacity must be positive");
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of stored observations.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of stored observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts one observation, evicting the oldest when full. Per
+    /// Section IV-B the buffer stores the *original* (pre-STMixup)
+    /// observations.
+    pub fn push(&mut self, sample: Sample) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(sample);
+    }
+
+    /// Inserts every sample of a slice.
+    pub fn extend(&mut self, samples: &[Sample]) {
+        for s in samples {
+            self.push(s.clone());
+        }
+    }
+
+    /// Observation at a stable index (0 = oldest).
+    pub fn get(&self, idx: usize) -> &Sample {
+        &self.entries[idx]
+    }
+
+    /// Draws `k` distinct observations uniformly (the baseline sampler the
+    /// RMIR ablation w/o_RMIR falls back to). Returns fewer when the
+    /// buffer holds fewer.
+    pub fn sample_uniform(&self, k: usize, rng: &mut Rng) -> Vec<Sample> {
+        let k = k.min(self.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        rng.sample_indices(self.len(), k)
+            .into_iter()
+            .map(|i| self.entries[i].clone())
+            .collect()
+    }
+
+    /// Stacks the observations at `indices` into a batch.
+    pub fn gather(&self, indices: &[usize]) -> Batch {
+        let samples: Vec<Sample> = indices.iter().map(|&i| self.entries[i].clone()).collect();
+        stack_samples(&samples)
+    }
+
+    /// Stacks the entire buffer into one batch (used by RMIR to score all
+    /// candidates in a single forward pass).
+    pub fn as_batch(&self) -> Option<Batch> {
+        if self.is_empty() {
+            return None;
+        }
+        let samples: Vec<Sample> = self.entries.iter().cloned().collect();
+        Some(stack_samples(&samples))
+    }
+
+    /// Iterates stored observations oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urcl_tensor::Tensor;
+
+    fn sample(tag: f32) -> Sample {
+        Sample {
+            x: Tensor::full(&[2, 3, 1], tag),
+            y: Tensor::full(&[1, 3], tag),
+        }
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(sample(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        // Oldest remaining is tag 2.
+        assert_eq!(buf.get(0).x.data()[0], 2.0);
+        assert_eq!(buf.get(2).x.data()[0], 4.0);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut buf = ReplayBuffer::new(4);
+        let samples: Vec<Sample> = (0..10).map(|i| sample(i as f32)).collect();
+        buf.extend(&samples);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.capacity(), 4);
+    }
+
+    #[test]
+    fn uniform_sampling_bounds() {
+        let mut buf = ReplayBuffer::new(8);
+        buf.extend(&(0..5).map(|i| sample(i as f32)).collect::<Vec<_>>());
+        let mut rng = Rng::seed_from_u64(1);
+        let got = buf.sample_uniform(3, &mut rng);
+        assert_eq!(got.len(), 3);
+        // Asking for more than stored returns everything.
+        let all = buf.sample_uniform(99, &mut rng);
+        assert_eq!(all.len(), 5);
+        // Empty buffer returns nothing.
+        let empty = ReplayBuffer::new(4);
+        assert!(empty.sample_uniform(2, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn gather_and_as_batch() {
+        let mut buf = ReplayBuffer::new(8);
+        buf.extend(&(0..4).map(|i| sample(i as f32)).collect::<Vec<_>>());
+        let b = buf.gather(&[3, 0]);
+        assert_eq!(b.x.shape(), &[2, 2, 3, 1]);
+        assert_eq!(b.x.data()[0], 3.0);
+        let full = buf.as_batch().unwrap();
+        assert_eq!(full.len(), 4);
+        assert!(ReplayBuffer::new(2).as_batch().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,672 @@
+//! The continuous-learning trainer (Algorithm 1) and the paper's
+//! comparison training strategies.
+//!
+//! * [`Strategy::Urcl`] — the full framework: replay buffer + RMIR
+//!   sampling + STMixup + spatio-temporal augmentation + STSimSiam with
+//!   the GraphCL loss, optimising `L_all = L_task + L_ssl` (Eq. 29).
+//! * [`Strategy::OneFitAll`] — train once on the base set, never update
+//!   (the static-model strawman of Table II).
+//! * [`Strategy::FinetuneSt`] — naive continual learning: fine-tune on
+//!   each incremental set with no replay (Table II).
+//!
+//! The four ablations of Fig. 6 are expressed through [`Ablation`] flags.
+
+use crate::augment::{Augmentation, AugmentedView};
+use crate::ewc::EwcState;
+use crate::metrics::Metrics;
+use crate::mixup::{concat_replay, st_mixup};
+use crate::replay::ReplayBuffer;
+use crate::rmir::rmir_sample;
+use crate::simsiam::StSimSiam;
+use crate::timing::Stopwatch;
+use serde::Serialize;
+use urcl_graph::SensorNetwork;
+use urcl_models::Backbone;
+use urcl_stdata::{stack_samples, ContinualSplit, DatasetConfig, Sample};
+use urcl_tensor::autodiff::{Session, Tape};
+use urcl_tensor::{Adam, Optimizer, ParamStore, Rng};
+
+/// Training strategy for streaming data (Section V-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Train on the base set only; incremental sets are never learned.
+    OneFitAll,
+    /// Fine-tune on every incremental set without replay.
+    FinetuneSt,
+    /// The full URCL framework.
+    Urcl,
+    /// Elastic Weight Consolidation: fine-tuning plus a quadratic
+    /// penalty anchored at the previous period's parameters — the
+    /// regularization-based continual-learning family of Section II-B,
+    /// provided as an extension for comparison against replay.
+    Ewc,
+}
+
+impl Strategy {
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::OneFitAll => "OneFitAll",
+            Strategy::FinetuneSt => "FinetuneST",
+            Strategy::Urcl => "URCL",
+            Strategy::Ewc => "EWC",
+        }
+    }
+}
+
+/// Component toggles for the ablation study (Fig. 6). All `true` is full
+/// URCL; switching one off yields the corresponding w/o_* variant.
+#[derive(Debug, Clone, Copy)]
+pub struct Ablation {
+    /// STMixup interpolation (off = w/o_STU: replay is concatenated).
+    pub mixup: bool,
+    /// RMIR sampling (off = w/o_RMIR: uniform replay sampling).
+    pub rmir: bool,
+    /// Spatio-temporal augmentation (off = w/o_STA: identical views).
+    pub augmentation: bool,
+    /// GraphCL self-supervised loss (off = w/o_GCL: task loss only).
+    pub graphcl: bool,
+}
+
+impl Default for Ablation {
+    fn default() -> Self {
+        Self {
+            mixup: true,
+            rmir: true,
+            augmentation: true,
+            graphcl: true,
+        }
+    }
+}
+
+/// Hyperparameters of the continuous trainer.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Training strategy.
+    pub strategy: Strategy,
+    /// Component toggles (URCL strategy only).
+    pub ablation: Ablation,
+    /// Epochs on the base set.
+    pub epochs_base: usize,
+    /// Epochs on each incremental set (the paper observes faster
+    /// convergence there — Fig. 8).
+    pub epochs_incremental: usize,
+    /// Minibatch size (also the GraphCL batch `S`).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Beta(α, α) concentration for STMixup.
+    pub mixup_alpha: f32,
+    /// Replay buffer capacity (256 in the paper).
+    pub buffer_capacity: usize,
+    /// RMIR candidate-pool size: how many buffer entries are scored for
+    /// interference each step. The paper scans the whole buffer; scoring
+    /// a random pool is a CPU-budget approximation (see DESIGN.md).
+    pub rmir_pool: usize,
+    /// RMIR interference short-list size |𝒩|.
+    pub rmir_candidates: usize,
+    /// GraphCL temperature τ.
+    pub tau: f32,
+    /// Weight of `L_ssl` in `L_all`. The paper sums the two losses
+    /// (Eq. 29); at our reduced scale the contrastive term is an order of
+    /// magnitude larger than the MAE term, so a fractional weight keeps
+    /// the sum balanced.
+    pub ssl_weight: f32,
+    /// Global gradient-norm clip.
+    pub clip_norm: f32,
+    /// Keep every `window_stride`-th training window (1 = all).
+    pub window_stride: usize,
+    /// Fraction of each period used for training.
+    pub train_ratio: f32,
+    /// Fraction of each period used for validation.
+    pub val_ratio: f32,
+    /// Diffusion steps used when augmentations rebuild graph supports;
+    /// must match the backbone's `K` so support counts line up.
+    pub k_diffusion: usize,
+    /// EWC penalty strength λ (used by [`Strategy::Ewc`] only).
+    pub ewc_lambda: f32,
+    /// Batches used to estimate the EWC Fisher diagonal per period.
+    pub ewc_fisher_batches: usize,
+    /// RNG seed for shuffling, sampling and augmentation choices.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::Urcl,
+            ablation: Ablation::default(),
+            epochs_base: 8,
+            epochs_incremental: 5,
+            batch_size: 8,
+            lr: 2e-3,
+            mixup_alpha: 0.2,
+            buffer_capacity: 256,
+            rmir_pool: 48,
+            rmir_candidates: 24,
+            tau: 0.5,
+            ssl_weight: 0.05,
+            clip_norm: 2.0,
+            window_stride: 2,
+            train_ratio: 0.7,
+            val_ratio: 0.1,
+            k_diffusion: 2,
+            ewc_lambda: 100.0,
+            ewc_fisher_batches: 8,
+            seed: 1,
+        }
+    }
+}
+
+/// Per-period results.
+#[derive(Debug, Clone, Serialize)]
+pub struct SetReport {
+    /// Period name (`B_set`, `I1_set`, …).
+    pub name: String,
+    /// Test MAE in physical units.
+    pub mae: f32,
+    /// Test RMSE in physical units.
+    pub rmse: f32,
+    /// Mean training seconds per epoch (0 when the period wasn't trained).
+    pub train_seconds_per_epoch: f64,
+    /// Epochs actually trained.
+    pub epochs: usize,
+    /// Mean inference seconds per observation (one window).
+    pub infer_seconds_per_obs: f64,
+    /// Mean total training loss per epoch (Fig. 8's convergence curve).
+    pub loss_curve: Vec<f32>,
+}
+
+/// Full run results: one report per streaming period.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Backbone name.
+    pub model: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Reports in stream order (base set first).
+    pub sets: Vec<SetReport>,
+}
+
+impl RunReport {
+    /// Looks a period up by name.
+    pub fn set(&self, name: &str) -> Option<&SetReport> {
+        self.sets.iter().find(|s| s.name == name)
+    }
+
+    /// Mean MAE over the incremental sets only (the continual-learning
+    /// figure of merit).
+    pub fn incremental_mae(&self) -> f32 {
+        let inc: Vec<f32> = self
+            .sets
+            .iter()
+            .filter(|s| s.name != "B_set")
+            .map(|s| s.mae)
+            .collect();
+        if inc.is_empty() {
+            0.0
+        } else {
+            inc.iter().sum::<f32>() / inc.len() as f32
+        }
+    }
+}
+
+/// Drives a backbone through the streaming protocol.
+pub struct ContinualTrainer {
+    config: TrainerConfig,
+    rng: Rng,
+    buffer: ReplayBuffer,
+    ewc: Option<EwcState>,
+}
+
+impl ContinualTrainer {
+    /// Creates a trainer (and its replay buffer) from a config.
+    pub fn new(config: TrainerConfig) -> Self {
+        let rng = Rng::seed_from_u64(config.seed);
+        let buffer = ReplayBuffer::new(config.buffer_capacity);
+        Self {
+            config,
+            rng,
+            buffer,
+            ewc: None,
+        }
+    }
+
+    /// Read access to the replay buffer (diagnostics / tests).
+    pub fn buffer(&self) -> &ReplayBuffer {
+        &self.buffer
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Runs the full streaming protocol over a *normalized* split,
+    /// training and evaluating period by period (Algorithm 1).
+    ///
+    /// Evaluation is **cumulative**: after training on period `k`, the
+    /// model is tested on the test slices of *all periods seen so far*
+    /// (`B_set..I^k`). This measures exactly what the SSTP problem asks
+    /// for — adapting to new data *while maximally preserving knowledge
+    /// from previous sequences* — so a model that forgets old regimes
+    /// scores poorly even if it fits the newest period.
+    ///
+    /// * `simsiam` — the STSimSiam head; required for the URCL strategy
+    ///   unless `ablation.graphcl` is off.
+    /// * `scale` — the target channel's min-max range, converting
+    ///   normalized errors back to physical units.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &mut self,
+        backbone: &dyn Backbone,
+        simsiam: Option<&StSimSiam>,
+        store: &mut ParamStore,
+        net: &SensorNetwork,
+        split: &ContinualSplit,
+        data_cfg: &DatasetConfig,
+        scale: f32,
+    ) -> RunReport {
+        if self.config.strategy == Strategy::Urcl && self.config.ablation.graphcl {
+            assert!(
+                simsiam.is_some(),
+                "URCL with GraphCL enabled needs an StSimSiam head"
+            );
+        }
+        let mut opt = Adam::new(self.config.lr);
+        let mut sets = Vec::new();
+        // Cumulative evaluation pool: test windows of every period seen.
+        let mut seen_test_windows: Vec<Sample> = Vec::new();
+
+        for (pi, period) in split.all_periods().into_iter().enumerate() {
+            let (train, _val, test) = period
+                .train_val_test(self.config.train_ratio, self.config.val_ratio);
+            let all_train_windows = train.windows(data_cfg);
+            let train_windows: Vec<Sample> = all_train_windows
+                .into_iter()
+                .step_by(self.config.window_stride.max(1))
+                .collect();
+            seen_test_windows.extend(test.windows(data_cfg));
+            // Evaluate on an even subsample so late-stream evaluations
+            // don't dominate the run time.
+            let test_windows = subsample(&seen_test_windows, 600);
+
+            let train_this = !(self.config.strategy == Strategy::OneFitAll && pi > 0);
+            let epochs = if !train_this {
+                0
+            } else if pi == 0 {
+                self.config.epochs_base
+            } else {
+                self.config.epochs_incremental
+            };
+
+            let mut loss_curve = Vec::with_capacity(epochs);
+            let mut train_watch = Stopwatch::new();
+            for _epoch in 0..epochs {
+                train_watch.start();
+                let mut order: Vec<usize> = (0..train_windows.len()).collect();
+                self.rng.shuffle(&mut order);
+                let mut epoch_loss = 0.0;
+                let mut batches = 0;
+                for chunk in order.chunks(self.config.batch_size) {
+                    let samples: Vec<Sample> =
+                        chunk.iter().map(|&i| train_windows[i].clone()).collect();
+                    let loss =
+                        self.train_step(backbone, simsiam, store, &mut opt, net, &samples);
+                    epoch_loss += loss;
+                    batches += 1;
+                }
+                train_watch.stop();
+                loss_curve.push(if batches > 0 {
+                    epoch_loss / batches as f32
+                } else {
+                    0.0
+                });
+            }
+
+            // Regularization-based CL: anchor the parameters learned on
+            // this period so the next period's updates stay close to them.
+            if self.config.strategy == Strategy::Ewc && train_this && !train_windows.is_empty() {
+                self.ewc = Some(EwcState::estimate(
+                    backbone,
+                    store,
+                    &train_windows,
+                    self.config.batch_size,
+                    self.config.ewc_fisher_batches,
+                ));
+            }
+
+            let (metrics, infer_per_obs) = evaluate(backbone, store, &test_windows);
+            let (mae, rmse) = metrics.scaled(scale);
+            sets.push(SetReport {
+                name: period.name.clone(),
+                mae,
+                rmse,
+                train_seconds_per_epoch: train_watch.mean_seconds(),
+                epochs,
+                infer_seconds_per_obs: infer_per_obs,
+                loss_curve,
+            });
+        }
+
+        RunReport {
+            model: backbone.name().to_string(),
+            strategy: self.config.strategy.name().to_string(),
+            sets,
+        }
+    }
+
+    /// One optimisation step on a chunk of training windows. Returns the
+    /// total loss value.
+    fn train_step(
+        &mut self,
+        backbone: &dyn Backbone,
+        simsiam: Option<&StSimSiam>,
+        store: &mut ParamStore,
+        opt: &mut Adam,
+        net: &SensorNetwork,
+        chunk: &[Sample],
+    ) -> f32 {
+        let current = stack_samples(chunk);
+        let is_urcl = self.config.strategy == Strategy::Urcl;
+
+        // --- Data integration (Fig. 1 left): replay + STMixup. ---
+        let train_batch = if is_urcl && !self.buffer.is_empty() {
+            let select = current.len();
+            let indices = if self.config.ablation.rmir {
+                let pool = self.rng.sample_indices(
+                    self.buffer.len(),
+                    self.config.rmir_pool.min(self.buffer.len()),
+                );
+                rmir_sample(
+                    &self.buffer,
+                    &pool,
+                    &current,
+                    backbone,
+                    store,
+                    self.config.lr,
+                    self.config.rmir_candidates,
+                    select,
+                )
+            } else {
+                self.rng
+                    .sample_indices(self.buffer.len(), select.min(self.buffer.len()))
+            };
+            let replayed = self.buffer.gather(&indices);
+            if self.config.ablation.mixup {
+                st_mixup(&current, &replayed, self.config.mixup_alpha, &mut self.rng).0
+            } else {
+                concat_replay(&current, &replayed)
+            }
+        } else {
+            current.clone()
+        };
+
+        // --- STCRL views (Fig. 1 top-right). ---
+        let ssl_views = if is_urcl && self.config.ablation.graphcl && simsiam.is_some() {
+            let (v1, v2) = if self.config.ablation.augmentation {
+                let (a1, a2) = Augmentation::sample_two(&mut self.rng);
+                (
+                    a1.apply(&train_batch.x, net, self.config.k_diffusion, &mut self.rng),
+                    a2.apply(&train_batch.x, net, self.config.k_diffusion, &mut self.rng),
+                )
+            } else {
+                (
+                    AugmentedView {
+                        x: train_batch.x.clone(),
+                        supports: None,
+                    },
+                    AugmentedView {
+                        x: train_batch.x.clone(),
+                        supports: None,
+                    },
+                )
+            };
+            Some((v1, v2))
+        } else {
+            None
+        };
+
+        // --- Forward, L_all = L_task + L_ssl (Eq. 29), backward. ---
+        store.zero_grads();
+        let tape = Tape::new();
+        let mut sess = Session::new(&tape, store);
+        let x = sess.input(train_batch.x.clone());
+        let y = sess.input(train_batch.y.clone());
+        let pred = backbone.forward(&mut sess, x);
+        let task_loss = pred.sub(y).abs().mean_all(); // MAE, Eq. 28
+        let mut total = match (&ssl_views, simsiam) {
+            (Some((v1, v2)), Some(sim)) => {
+                let ssl = sim.loss(&mut sess, backbone, v1, v2);
+                task_loss.add(ssl.scale(self.config.ssl_weight))
+            }
+            _ => task_loss,
+        };
+        if self.config.strategy == Strategy::Ewc {
+            if let Some(state) = &self.ewc {
+                total = total.add(state.penalty(&mut sess, store, self.config.ewc_lambda));
+            }
+        }
+        let loss_value = total.value().item();
+        let grads = tape.backward(total);
+        let binds = sess.into_bindings();
+        store.accumulate_grads(&binds, &grads);
+        store.clip_grad_norm(self.config.clip_norm);
+        opt.step(store);
+
+        // The buffer keeps the *original* observations (Section IV-B).
+        if is_urcl {
+            self.buffer.extend(chunk);
+        }
+        loss_value
+    }
+}
+
+/// Evenly subsamples a window list down to at most `max` entries.
+fn subsample(windows: &[Sample], max: usize) -> Vec<Sample> {
+    if windows.len() <= max {
+        return windows.to_vec();
+    }
+    let stride = windows.len() as f32 / max as f32;
+    (0..max)
+        .map(|i| windows[(i as f32 * stride) as usize].clone())
+        .collect()
+}
+
+/// Evaluates a backbone on test windows; returns accumulated metrics in
+/// normalized space and the mean inference seconds per observation.
+pub fn evaluate(
+    backbone: &dyn Backbone,
+    store: &ParamStore,
+    windows: &[Sample],
+) -> (Metrics, f64) {
+    let mut metrics = Metrics::new();
+    if windows.is_empty() {
+        return (metrics, 0.0);
+    }
+    let mut watch = Stopwatch::new();
+    for chunk in windows.chunks(32) {
+        let batch = stack_samples(chunk);
+        watch.start();
+        let tape = Tape::new();
+        let mut sess = Session::new(&tape, store);
+        let x = sess.input(batch.x.clone());
+        let pred = backbone.forward(&mut sess, x).value();
+        watch.stop();
+        metrics.update(&pred, &batch.y);
+    }
+    let per_obs = watch.total_seconds() / windows.len() as f64;
+    (metrics, per_obs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urcl_models::{GraphWaveNet, GwnConfig};
+    use urcl_stdata::SyntheticDataset;
+
+    fn tiny_setup() -> (
+        SyntheticDataset,
+        ContinualSplit,
+        f32,
+        SensorNetwork,
+    ) {
+        let ds = SyntheticDataset::generate(urcl_stdata::DatasetConfig::metr_la().tiny());
+        let norm = ds.fit_normalizer();
+        let split = ds.continual_split(2);
+        let normalized = ContinualSplit {
+            base: split.base.normalized(&norm),
+            incremental: split
+                .incremental
+                .iter()
+                .map(|p| p.normalized(&norm))
+                .collect(),
+        };
+        let scale = norm.scale(ds.config.target_channel);
+        let net = ds.network.clone();
+        (ds, normalized, scale, net)
+    }
+
+    fn quick_config(strategy: Strategy) -> TrainerConfig {
+        TrainerConfig {
+            strategy,
+            epochs_base: 2,
+            epochs_incremental: 1,
+            batch_size: 6,
+            window_stride: 8,
+            rmir_candidates: 12,
+            ..TrainerConfig::default()
+        }
+    }
+
+    fn build_model(
+        ds: &SyntheticDataset,
+        net: &SensorNetwork,
+    ) -> (ParamStore, GraphWaveNet, StSimSiam) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from_u64(5);
+        let mut cfg = GwnConfig::small(
+            ds.config.num_nodes,
+            ds.config.num_channels(),
+            ds.config.input_steps,
+            ds.config.output_steps,
+        );
+        cfg.layers = 2;
+        let model = GraphWaveNet::new(&mut store, &mut rng, net, cfg);
+        let sim = StSimSiam::new(&mut store, &mut rng, 32, 32, 0.5);
+        (store, model, sim)
+    }
+
+    #[test]
+    fn urcl_run_produces_reports_and_fills_buffer() {
+        let (ds, split, scale, net) = tiny_setup();
+        let (mut store, model, sim) = build_model(&ds, &net);
+        let mut trainer = ContinualTrainer::new(quick_config(Strategy::Urcl));
+        let report = trainer.run(
+            &model,
+            Some(&sim),
+            &mut store,
+            &net,
+            &split,
+            &ds.config,
+            scale,
+        );
+        assert_eq!(report.sets.len(), 3); // base + 2 incremental
+        assert_eq!(report.strategy, "URCL");
+        assert!(!trainer.buffer().is_empty(), "buffer never filled");
+        for set in &report.sets {
+            assert!(set.mae.is_finite() && set.mae >= 0.0);
+            assert!(set.rmse >= set.mae * 0.99);
+            assert!(!set.loss_curve.is_empty());
+        }
+    }
+
+    #[test]
+    fn onefitall_skips_incremental_training() {
+        let (ds, split, scale, net) = tiny_setup();
+        let (mut store, model, _sim) = build_model(&ds, &net);
+        let mut trainer = ContinualTrainer::new(quick_config(Strategy::OneFitAll));
+        let report = trainer.run(&model, None, &mut store, &net, &split, &ds.config, scale);
+        assert_eq!(report.sets[0].epochs, 2);
+        assert_eq!(report.sets[1].epochs, 0);
+        assert_eq!(report.sets[2].epochs, 0);
+        assert!(trainer.buffer().is_empty(), "OneFitAll must not use replay");
+    }
+
+    #[test]
+    fn finetune_trains_every_set_without_buffer() {
+        let (ds, split, scale, net) = tiny_setup();
+        let (mut store, model, _sim) = build_model(&ds, &net);
+        let mut trainer = ContinualTrainer::new(quick_config(Strategy::FinetuneSt));
+        let report = trainer.run(&model, None, &mut store, &net, &split, &ds.config, scale);
+        assert!(report.sets.iter().all(|s| s.epochs > 0));
+        assert!(trainer.buffer().is_empty());
+    }
+
+    #[test]
+    fn ablation_flags_disable_components() {
+        let (ds, split, scale, net) = tiny_setup();
+        let (mut store, model, _sim) = build_model(&ds, &net);
+        let mut cfg = quick_config(Strategy::Urcl);
+        cfg.ablation = Ablation {
+            mixup: false,
+            rmir: false,
+            augmentation: false,
+            graphcl: false,
+        };
+        let mut trainer = ContinualTrainer::new(cfg);
+        // No simsiam needed once GraphCL is off.
+        let report = trainer.run(&model, None, &mut store, &net, &split, &ds.config, scale);
+        assert_eq!(report.sets.len(), 3);
+        assert!(!trainer.buffer().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an StSimSiam head")]
+    fn urcl_with_graphcl_requires_simsiam() {
+        let (ds, split, scale, net) = tiny_setup();
+        let (mut store, model, _sim) = build_model(&ds, &net);
+        let mut trainer = ContinualTrainer::new(quick_config(Strategy::Urcl));
+        let _ = trainer.run(&model, None, &mut store, &net, &split, &ds.config, scale);
+    }
+
+    #[test]
+    fn incremental_mae_summary() {
+        let report = RunReport {
+            model: "m".into(),
+            strategy: "s".into(),
+            sets: vec![
+                SetReport {
+                    name: "B_set".into(),
+                    mae: 10.0,
+                    rmse: 12.0,
+                    train_seconds_per_epoch: 0.0,
+                    epochs: 1,
+                    infer_seconds_per_obs: 0.0,
+                    loss_curve: vec![],
+                },
+                SetReport {
+                    name: "I1_set".into(),
+                    mae: 2.0,
+                    rmse: 3.0,
+                    train_seconds_per_epoch: 0.0,
+                    epochs: 1,
+                    infer_seconds_per_obs: 0.0,
+                    loss_curve: vec![],
+                },
+                SetReport {
+                    name: "I2_set".into(),
+                    mae: 4.0,
+                    rmse: 5.0,
+                    train_seconds_per_epoch: 0.0,
+                    epochs: 1,
+                    infer_seconds_per_obs: 0.0,
+                    loss_curve: vec![],
+                },
+            ],
+        };
+        assert!((report.incremental_mae() - 3.0).abs() < 1e-6);
+        assert_eq!(report.set("I1_set").unwrap().mae, 2.0);
+        assert!(report.set("nope").is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! Graph traversal utilities used by the spatio-temporal augmentations:
+//! random-walk subgraph sampling (SubGraph), hop distances and distant
+//! node-pair selection (AddEdge).
+
+use crate::network::SensorNetwork;
+use urcl_tensor::Rng;
+
+/// Samples a connected node subset by random walk with restart, the
+/// SubGraph (SG) augmentation of Section IV-C1. The walk starts at
+/// `start`, follows out-edges uniformly, and restarts at `start` with
+/// probability 0.15; it runs until `target_size` distinct nodes are seen
+/// or a step budget is exhausted. Returns sorted node ids.
+pub fn random_walk_subgraph(
+    net: &SensorNetwork,
+    start: usize,
+    target_size: usize,
+    rng: &mut Rng,
+) -> Vec<usize> {
+    assert!(start < net.num_nodes(), "start node out of range");
+    let target = target_size.clamp(1, net.num_nodes());
+    let mut visited = vec![false; net.num_nodes()];
+    let mut nodes = Vec::with_capacity(target);
+    let push = |v: usize, visited: &mut Vec<bool>, nodes: &mut Vec<usize>| {
+        if !visited[v] {
+            visited[v] = true;
+            nodes.push(v);
+        }
+    };
+    push(start, &mut visited, &mut nodes);
+    let mut cur = start;
+    let budget = 50 * net.num_nodes().max(1);
+    for _ in 0..budget {
+        if nodes.len() >= target {
+            break;
+        }
+        if rng.bernoulli(0.15) {
+            cur = start;
+            continue;
+        }
+        let nbrs = net.neighbors(cur);
+        if nbrs.is_empty() {
+            // Dead end: teleport to a random unvisited node to guarantee
+            // progress on disconnected graphs.
+            cur = rng.below(net.num_nodes());
+        } else {
+            cur = nbrs[rng.below(nbrs.len())];
+        }
+        push(cur, &mut visited, &mut nodes);
+    }
+    // Top up from unvisited nodes if the walk stalled (disconnected graph).
+    if nodes.len() < target {
+        for v in 0..net.num_nodes() {
+            if nodes.len() >= target {
+                break;
+            }
+            push(v, &mut visited, &mut nodes);
+        }
+    }
+    nodes.sort_unstable();
+    nodes
+}
+
+/// BFS hop distance from `source` to every node, ignoring weights.
+/// Unreachable nodes get `usize::MAX`.
+pub fn hop_distances(net: &SensorNetwork, source: usize) -> Vec<usize> {
+    let n = net.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for v in net.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// All ordered node pairs `(i, j)` at hop distance `> min_hops` (including
+/// mutually unreachable pairs), the candidates for the AddEdge (AE)
+/// augmentation which links distant-but-similar sensors.
+pub fn distant_pairs(net: &SensorNetwork, min_hops: usize) -> Vec<(usize, usize)> {
+    let n = net.num_nodes();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        let dist = hop_distances(net, i);
+        for (j, &d) in dist.iter().enumerate() {
+            if j != i && (d == usize::MAX || d > min_hops) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1-2-3-4 path.
+    fn path5() -> SensorNetwork {
+        let mut e = Vec::new();
+        for i in 0..4 {
+            e.push((i, i + 1, 1.0));
+            e.push((i + 1, i, 1.0));
+        }
+        SensorNetwork::from_edges(5, &e)
+    }
+
+    #[test]
+    fn hop_distances_on_path() {
+        let g = path5();
+        assert_eq!(hop_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(hop_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn hop_distance_unreachable() {
+        let g = SensorNetwork::from_edges(3, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let d = hop_distances(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn distant_pairs_exceed_min_hops() {
+        let g = path5();
+        let pairs = distant_pairs(&g, 3);
+        // Only (0,4) and (4,0) are >3 hops apart on a 5-path.
+        assert_eq!(pairs, vec![(0, 4), (4, 0)]);
+    }
+
+    #[test]
+    fn subgraph_size_and_membership() {
+        let g = path5();
+        let mut rng = Rng::seed_from_u64(1);
+        let nodes = random_walk_subgraph(&g, 2, 3, &mut rng);
+        assert_eq!(nodes.len(), 3);
+        assert!(nodes.contains(&2));
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]), "sorted output");
+        assert!(nodes.iter().all(|&v| v < 5));
+    }
+
+    #[test]
+    fn subgraph_handles_disconnected() {
+        let g = SensorNetwork::from_edges(4, &[]);
+        let mut rng = Rng::seed_from_u64(2);
+        let nodes = random_walk_subgraph(&g, 0, 3, &mut rng);
+        assert_eq!(nodes.len(), 3);
+    }
+
+    #[test]
+    fn subgraph_target_clamped() {
+        let g = path5();
+        let mut rng = Rng::seed_from_u64(3);
+        let nodes = random_walk_subgraph(&g, 0, 100, &mut rng);
+        assert_eq!(nodes.len(), 5);
+    }
+}

@@ -1,0 +1,225 @@
+//! Dataset configurations mirroring Table I of the paper.
+
+/// What a channel measures; determines the waveform the generator emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// Traffic speed (mph-like): high off-peak, dips at rush hours.
+    Speed,
+    /// Traffic flow (vehicles/interval): low off-peak, peaks at rush hours.
+    Flow,
+    /// Occupancy (fraction of time a detector is occupied): tracks flow.
+    Occupancy,
+}
+
+/// Configuration of one synthetic streaming dataset.
+///
+/// The four presets correspond to the paper's datasets with node counts
+/// scaled down by default (`scale_nodes`) so the full evaluation runs on a
+/// CPU; `paper_scale()` restores the original sizes.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Human-readable name used in experiment tables.
+    pub name: String,
+    /// Number of sensors.
+    pub num_nodes: usize,
+    /// Channel semantics; `channels.len()` is `C` in the paper.
+    pub channels: Vec<ChannelKind>,
+    /// Index of the channel being predicted.
+    pub target_channel: usize,
+    /// Sampling interval in minutes (15 for METR-LA/PEMS-BAY, 5 for
+    /// PEMS04/PEMS08).
+    pub interval_minutes: usize,
+    /// Days of data to generate.
+    pub num_days: usize,
+    /// Input window length `M` (12 in all paper experiments).
+    pub input_steps: usize,
+    /// Prediction horizon `N` (1 in all paper experiments).
+    pub output_steps: usize,
+    /// Number of distinct traffic regimes driving concept drift.
+    pub num_regimes: usize,
+    /// Strength of inter-period drift in `[0, 1]`.
+    pub drift: f32,
+    /// Observation noise standard deviation (relative to signal range).
+    pub noise: f32,
+    /// Connection radius of the random-geometric sensor graph.
+    pub graph_radius: f32,
+    /// Generator seed; every derived split/shuffle reuses sub-seeds.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// Steps per day implied by the sampling interval.
+    pub fn steps_per_day(&self) -> usize {
+        24 * 60 / self.interval_minutes
+    }
+
+    /// Total number of time slots generated.
+    pub fn total_steps(&self) -> usize {
+        self.num_days * self.steps_per_day()
+    }
+
+    /// Number of channels `C`.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// METR-LA analogue: LA County speed data, 15-min interval, 2-channel
+    /// observations (speed + flow), 4 months in the paper.
+    pub fn metr_la() -> Self {
+        Self {
+            name: "METR-LA".into(),
+            num_nodes: 24,
+            channels: vec![ChannelKind::Speed, ChannelKind::Flow],
+            target_channel: 0,
+            interval_minutes: 15,
+            num_days: 28,
+            input_steps: 12,
+            output_steps: 1,
+            num_regimes: 3,
+            drift: 0.6,
+            noise: 0.05,
+            graph_radius: 0.3,
+            seed: 0xA11A,
+        }
+    }
+
+    /// PEMS-BAY analogue: Bay Area speed data, 15-min interval.
+    pub fn pems_bay() -> Self {
+        Self {
+            name: "PEMS-BAY".into(),
+            num_nodes: 32,
+            channels: vec![ChannelKind::Speed, ChannelKind::Flow],
+            target_channel: 0,
+            interval_minutes: 15,
+            num_days: 28,
+            input_steps: 12,
+            output_steps: 1,
+            num_regimes: 3,
+            drift: 0.6,
+            noise: 0.04,
+            graph_radius: 0.28,
+            seed: 0xBA1,
+        }
+    }
+
+    /// PEMS04 analogue: San Francisco Bay flow data, 5-min interval,
+    /// 3-channel observations (flow, speed, occupancy).
+    pub fn pems04() -> Self {
+        Self {
+            name: "PEMS04".into(),
+            num_nodes: 28,
+            channels: vec![
+                ChannelKind::Flow,
+                ChannelKind::Speed,
+                ChannelKind::Occupancy,
+            ],
+            target_channel: 0,
+            interval_minutes: 5,
+            num_days: 10,
+            input_steps: 12,
+            output_steps: 1,
+            num_regimes: 3,
+            drift: 0.5,
+            noise: 0.06,
+            graph_radius: 0.3,
+            seed: 0x04,
+        }
+    }
+
+    /// PEMS08 analogue: San Bernardino flow data, 5-min interval.
+    pub fn pems08() -> Self {
+        Self {
+            name: "PEMS08".into(),
+            num_nodes: 20,
+            channels: vec![
+                ChannelKind::Flow,
+                ChannelKind::Speed,
+                ChannelKind::Occupancy,
+            ],
+            target_channel: 0,
+            interval_minutes: 5,
+            num_days: 10,
+            input_steps: 12,
+            output_steps: 1,
+            num_regimes: 3,
+            drift: 0.5,
+            noise: 0.06,
+            graph_radius: 0.32,
+            seed: 0x08,
+        }
+    }
+
+    /// Restores the paper's full node counts and time spans. Only use
+    /// with generous compute budgets.
+    pub fn paper_scale(mut self) -> Self {
+        match self.name.as_str() {
+            "METR-LA" => {
+                self.num_nodes = 207;
+                self.num_days = 120;
+            }
+            "PEMS-BAY" => {
+                self.num_nodes = 325;
+                self.num_days = 150;
+            }
+            "PEMS04" => {
+                self.num_nodes = 307;
+                self.num_days = 60;
+            }
+            "PEMS08" => {
+                self.num_nodes = 170;
+                self.num_days = 60;
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Shrinks the dataset for fast tests and micro-benchmarks.
+    pub fn tiny(mut self) -> Self {
+        self.num_nodes = 8;
+        self.num_days = 10;
+        self.graph_radius = 0.5;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_table1_structure() {
+        let la = DatasetConfig::metr_la();
+        assert_eq!(la.interval_minutes, 15);
+        assert_eq!(la.num_channels(), 2);
+        assert_eq!(la.input_steps, 12);
+        assert_eq!(la.output_steps, 1);
+
+        let p4 = DatasetConfig::pems04();
+        assert_eq!(p4.interval_minutes, 5);
+        assert_eq!(p4.num_channels(), 3);
+        assert_eq!(p4.channels[0], ChannelKind::Flow);
+        assert_eq!(p4.target_channel, 0);
+    }
+
+    #[test]
+    fn steps_per_day_from_interval() {
+        assert_eq!(DatasetConfig::metr_la().steps_per_day(), 96);
+        assert_eq!(DatasetConfig::pems08().steps_per_day(), 288);
+    }
+
+    #[test]
+    fn paper_scale_restores_node_counts() {
+        assert_eq!(DatasetConfig::metr_la().paper_scale().num_nodes, 207);
+        assert_eq!(DatasetConfig::pems_bay().paper_scale().num_nodes, 325);
+        assert_eq!(DatasetConfig::pems04().paper_scale().num_nodes, 307);
+        assert_eq!(DatasetConfig::pems08().paper_scale().num_nodes, 170);
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        let t = DatasetConfig::pems04().tiny();
+        assert!(t.num_nodes <= 8);
+        assert!(t.total_steps() <= 8 * 288 * 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Min-max normalisation to the unit interval (Section V-A4: "we normalize
+//! the streaming data into \[0,1\] to facilitate the feature learning").
+//!
+//! Statistics are fit per channel, conventionally on the base set only —
+//! in a streaming setting future data is unseen at fit time. Errors
+//! measured in normalized space convert back to physical units by
+//! multiplying with the target channel's range (min-max scaling is
+//! affine, so MAE/RMSE scale linearly).
+
+use urcl_tensor::Tensor;
+
+/// Per-channel min-max scaler for `[T, N, C]` series.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits per-channel minima/maxima on a `[T, N, C]` series.
+    pub fn fit(series: &Tensor) -> Self {
+        assert_eq!(series.ndim(), 3, "series must be [T, N, C]");
+        let c = series.shape()[2];
+        let mut mins = vec![f32::INFINITY; c];
+        let mut maxs = vec![f32::NEG_INFINITY; c];
+        for (i, &v) in series.data().iter().enumerate() {
+            let ch = i % c;
+            mins[ch] = mins[ch].min(v);
+            maxs[ch] = maxs[ch].max(v);
+        }
+        for ch in 0..c {
+            if !mins[ch].is_finite() || maxs[ch] - mins[ch] < 1e-9 {
+                // Degenerate channel: identity mapping around its value.
+                maxs[ch] = mins[ch] + 1.0;
+            }
+        }
+        Self { mins, maxs }
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scale (max − min) of a channel; multiplying a normalized MAE/RMSE
+    /// by this returns it to physical units.
+    pub fn scale(&self, channel: usize) -> f32 {
+        self.maxs[channel] - self.mins[channel]
+    }
+
+    /// Normalises a `[T, N, C]` (or `[.., C]`-last) tensor channelwise,
+    /// clamping to `[0, 1]` so drifted streams stay in range.
+    pub fn transform(&self, series: &Tensor) -> Tensor {
+        let c = self.num_channels();
+        assert_eq!(
+            series.shape().last(),
+            Some(&c),
+            "last axis must be the channel axis"
+        );
+        let mut out = series.clone();
+        for (i, v) in out.data_mut().iter_mut().enumerate() {
+            let ch = i % c;
+            *v = ((*v - self.mins[ch]) / (self.maxs[ch] - self.mins[ch])).clamp(0.0, 1.0);
+        }
+        out
+    }
+
+    /// Maps a normalized target-channel tensor back to physical units.
+    pub fn inverse_target(&self, y: &Tensor, channel: usize) -> Tensor {
+        let min = self.mins[channel];
+        let scale = self.scale(channel);
+        y.map(|v| v * scale + min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Tensor {
+        // [T=2, N=2, C=2]; channel 0 in [0, 30], channel 1 in [100, 130].
+        Tensor::from_vec(
+            vec![0.0, 100.0, 10.0, 110.0, 20.0, 120.0, 30.0, 130.0],
+            &[2, 2, 2],
+        )
+    }
+
+    #[test]
+    fn fit_and_transform_to_unit_interval() {
+        let s = series();
+        let norm = Normalizer::fit(&s);
+        let t = norm.transform(&s);
+        assert!(t.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 1, 0]), 1.0);
+        assert_eq!(norm.scale(0), 30.0);
+        assert_eq!(norm.scale(1), 30.0);
+    }
+
+    #[test]
+    fn out_of_range_values_clamped() {
+        let s = series();
+        let norm = Normalizer::fit(&s);
+        let drifted = s.map(|v| v * 2.0);
+        let t = norm.transform(&drifted);
+        assert!(t.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn inverse_target_roundtrip() {
+        let s = series();
+        let norm = Normalizer::fit(&s);
+        let t = norm.transform(&s);
+        // Extract channel 0 normalized values and invert.
+        let y = t.index_select(2, &[0]).reshape(&[2, 2]);
+        let back = norm.inverse_target(&y, 0);
+        let orig = s.index_select(2, &[0]).reshape(&[2, 2]);
+        for (a, b) in back.data().iter().zip(orig.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn degenerate_channel_does_not_blow_up() {
+        let s = Tensor::from_vec(vec![5.0, 5.0, 5.0, 5.0], &[2, 2, 1]);
+        let norm = Normalizer::fit(&s);
+        let t = norm.transform(&s);
+        assert!(t.data().iter().all(|v| v.is_finite()));
+    }
+}

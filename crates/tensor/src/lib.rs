@@ -1,0 +1,46 @@
+//! # urcl-tensor
+//!
+//! A dense, CPU-only, `f32` tensor library with tape-based reverse-mode
+//! automatic differentiation. It is the training substrate for the
+//! [URCL](https://doi.org/10.1109/ICDE60146.2024) reproduction: every
+//! gradient computed by the spatio-temporal models in `urcl-models` and by
+//! the continuous-learning framework in `urcl-core` flows through this crate.
+//!
+//! The design favours clarity and debuggability over raw throughput:
+//! tensors are contiguous row-major `Vec<f32>` buffers, and the autodiff
+//! tape records an explicit [`Op`](autodiff::Op) per node so every backward
+//! rule is a readable `match` arm. At the model sizes used by the paper's
+//! evaluation protocol (tens of sensor nodes, 12-step windows) this is more
+//! than fast enough on a laptop CPU.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use urcl_tensor::{Tensor, autodiff::Tape};
+//!
+//! let tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+//! let w = tape.leaf(Tensor::from_vec(vec![0.5, 0.5, 0.5], &[3]));
+//! let loss = x.mul(w).sum_all();
+//! let grads = tape.backward(loss);
+//! // d(sum(x*w))/dx = w
+//! assert_eq!(grads.get(x).unwrap().data(), &[0.5, 0.5, 0.5]);
+//! ```
+//!
+//! Higher-level training code uses [`params::ParamStore`] +
+//! [`autodiff::Session`] to bind persistent parameters to a fresh tape per
+//! step, and [`optim`] for SGD/Adam updates.
+
+pub mod autodiff;
+pub mod gradcheck;
+pub mod optim;
+pub mod params;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use autodiff::{Session, Tape, Var};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use params::{ParamId, ParamStore};
+pub use rng::Rng;
+pub use tensor::Tensor;

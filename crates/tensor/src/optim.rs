@@ -1,0 +1,190 @@
+//! First-order optimizers over a [`ParamStore`].
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+
+/// A gradient-based parameter updater. Implementations read the gradient
+/// buffers of the store and mutate the values in place.
+pub trait Optimizer {
+    /// Applies one update using the currently accumulated gradients.
+    fn step(&mut self, store: &mut ParamStore);
+    /// Current learning rate (diagnostics).
+    fn learning_rate(&self) -> f32;
+}
+
+/// Plain stochastic gradient descent, optionally with L2 weight decay.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight-decay coefficient (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        for id in ids {
+            let grad = store.grad(id).clone();
+            let wd = self.weight_decay;
+            let lr = self.lr;
+            let v = store.value_mut(id);
+            for (p, g) in v.data_mut().iter_mut().zip(grad.data()) {
+                *p -= lr * (g + wd * *p);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// L2 weight-decay coefficient (0 disables).
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard hyperparameters (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        if self.m.len() != store.len() {
+            self.m = store
+                .ids()
+                .map(|id| Tensor::zeros(store.value(id).shape()))
+                .collect();
+            self.v = self.m.clone();
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.ensure_state(store);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let ids: Vec<_> = store.ids().collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            let grad = store.grad(id).clone();
+            let wd = self.weight_decay;
+            let value = store.value_mut(id);
+            let md = self.m[i].data_mut();
+            let vd = self.v[i].data_mut();
+            for (((p, &g0), m), v) in value
+                .data_mut()
+                .iter_mut()
+                .zip(grad.data())
+                .zip(md.iter_mut())
+                .zip(vd.iter_mut())
+            {
+                let g = g0 + wd * *p;
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autodiff::{Session, Tape};
+
+    /// Minimises f(w) = (w - 3)^2 and checks convergence.
+    fn optimise_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(0.0));
+        for _ in 0..steps {
+            store.zero_grads();
+            let tape = Tape::new();
+            let mut sess = Session::new(&tape, &store);
+            let wv = sess.param(w);
+            let d = wv.add_scalar(-3.0);
+            let loss = d.mul(d).sum_all();
+            let grads = tape.backward(loss);
+            let binds = sess.into_bindings();
+            store.accumulate_grads(&binds, &grads);
+            opt.step(&mut store);
+        }
+        store.value(w).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = optimise_quadratic(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let w = optimise_quadratic(&mut opt, 500);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_state_resizes_with_store() {
+        let mut store = ParamStore::new();
+        let _a = store.add("a", Tensor::zeros(&[2]));
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut store);
+        assert_eq!(opt.m.len(), 1);
+        let _b = store.add("b", Tensor::zeros(&[3]));
+        opt.step(&mut store); // must not panic
+        assert_eq!(opt.m.len(), 2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(1.0));
+        let mut opt = Sgd::new(0.1);
+        opt.weight_decay = 1.0;
+        // No task gradient: only decay acts.
+        opt.step(&mut store);
+        assert!((store.value(w).item() - 0.9).abs() < 1e-6);
+    }
+}

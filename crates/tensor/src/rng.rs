@@ -1,0 +1,227 @@
+//! Seedable random number generation for reproducible experiments.
+//!
+//! Wraps `rand::StdRng` and adds the distributions the paper needs that
+//! `rand` does not ship: Gaussian (Box–Muller), Gamma (Marsaglia–Tsang) and
+//! Beta (ratio of Gammas) — the latter drives the STMixup coefficient
+//! λ ~ Beta(α, α) of Eq. 4.
+
+use crate::tensor::Tensor;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// A seedable RNG with the distribution helpers used across the workspace.
+pub struct Rng {
+    inner: rand::rngs::StdRng,
+}
+
+impl Rng {
+    /// Creates an RNG from a 64-bit seed. The same seed always produces the
+    /// same stream, which keeps every experiment in the repo reproducible.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Raw 64-bit output (used to derive child seeds).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        // Avoid ln(0).
+        let u1 = (1.0 - self.uniform()).max(f32::MIN_POSITIVE);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Gamma(shape, 1) sample via Marsaglia–Tsang, with the standard
+    /// `U^(1/α)` boost for shapes below 1.
+    pub fn gamma(&mut self, shape: f32) -> f32 {
+        assert!(shape > 0.0, "gamma shape must be positive");
+        if shape < 1.0 {
+            // Gamma(a) = Gamma(a+1) * U^(1/a)
+            let u = self.uniform().max(f32::MIN_POSITIVE);
+            return self.gamma(shape + 1.0) * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = self.normal();
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v = v * v * v;
+            let u = self.uniform().max(f32::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+
+    /// Beta(α, β) sample as `Ga / (Ga + Gb)` with independent Gammas.
+    pub fn beta(&mut self, alpha: f32, beta: f32) -> f32 {
+        let a = self.gamma(alpha);
+        let b = self.gamma(beta);
+        if a + b == 0.0 {
+            0.5
+        } else {
+            a / (a + b)
+        }
+    }
+
+    /// Draws `k` distinct indices from `0..n` (partial Fisher–Yates).
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    // --------------------------------------------------------- tensor fills
+
+    /// Tensor with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn uniform_tensor(&mut self, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+        let n = crate::shape::numel(shape);
+        let data = (0..n).map(|_| self.uniform_range(lo, hi)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Tensor with i.i.d. normal entries.
+    pub fn normal_tensor(&mut self, shape: &[usize], mean: f32, std: f32) -> Tensor {
+        let n = crate::shape::numel(shape);
+        let data = (0..n).map(|_| self.normal_with(mean, std)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Glorot/Xavier-uniform initialisation for a weight of shape
+    /// `[fan_in, fan_out]` (or any shape, using the first and last axes as
+    /// fan-in/fan-out).
+    pub fn glorot(&mut self, shape: &[usize]) -> Tensor {
+        let fan_in = shape.first().copied().unwrap_or(1) as f32;
+        let fan_out = shape.last().copied().unwrap_or(1) as f32;
+        let bound = (6.0 / (fan_in + fan_out)).sqrt();
+        self.uniform_tensor(shape, -bound, bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut r = Rng::seed_from_u64(2);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut r = Rng::seed_from_u64(3);
+        for &shape in &[0.5f32, 1.0, 2.0, 5.0] {
+            let n = 10_000;
+            let mean = (0..n).map(|_| r.gamma(shape)).sum::<f32>() / n as f32;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "gamma({shape}) mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_bounded_and_centered() {
+        let mut r = Rng::seed_from_u64(4);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.beta(2.0, 2.0);
+            assert!((0.0..=1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f32;
+        assert!((mean - 0.5).abs() < 0.02, "beta(2,2) mean {mean}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = Rng::seed_from_u64(5);
+        let idx = r.sample_indices(10, 6);
+        assert_eq!(idx.len(), 6);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+        assert!(idx.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn glorot_bound_respected() {
+        let mut r = Rng::seed_from_u64(6);
+        let w = r.glorot(&[64, 32]);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= bound));
+    }
+}

@@ -1,0 +1,156 @@
+//! Shape arithmetic shared by tensor ops and their backward rules.
+//!
+//! All tensors in this crate are contiguous and row-major, so a shape is
+//! just a `Vec<usize>` of dimension sizes. This module centralises the
+//! broadcasting rules (NumPy-style, right-aligned) and the stride math used
+//! when iterating broadcast operands.
+
+/// Number of elements implied by a shape. The empty shape denotes a scalar
+/// and has one element.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a contiguous tensor of the given shape.
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![0; shape.len()];
+    let mut acc = 1;
+    for i in (0..shape.len()).rev() {
+        s[i] = acc;
+        acc *= shape[i];
+    }
+    s
+}
+
+/// Computes the broadcast shape of two operand shapes under NumPy rules:
+/// shapes are right-aligned; paired dimensions must be equal or one of them
+/// must be 1. Returns `None` when the shapes are incompatible.
+pub fn broadcast_shape(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0; ndim];
+    for i in 0..ndim {
+        let da = dim_from_right(a, i);
+        let db = dim_from_right(b, i);
+        out[ndim - 1 - i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+/// Dimension `i` counting from the least-significant (rightmost) axis,
+/// treating missing leading axes as size 1.
+#[inline]
+pub fn dim_from_right(shape: &[usize], i: usize) -> usize {
+    if i < shape.len() {
+        shape[shape.len() - 1 - i]
+    } else {
+        1
+    }
+}
+
+/// Strides of `shape` embedded in a broadcast result of `out_ndim` axes.
+/// Broadcast axes (size 1 or missing) get stride 0 so that iterating the
+/// output linearly re-reads the same operand element.
+pub fn broadcast_strides(shape: &[usize], out_ndim: usize) -> Vec<usize> {
+    let base = strides(shape);
+    let mut out = vec![0; out_ndim];
+    for i in 0..out_ndim {
+        let d = dim_from_right(shape, i);
+        let s = if i < shape.len() {
+            base[shape.len() - 1 - i]
+        } else {
+            0
+        };
+        out[out_ndim - 1 - i] = if d == 1 { 0 } else { s };
+    }
+    out
+}
+
+/// Converts a linear index in a tensor of shape `shape` into the linear
+/// index of a (possibly broadcast) operand with strides `bstrides`.
+#[inline]
+pub fn broadcast_offset(mut linear: usize, shape: &[usize], bstrides: &[usize]) -> usize {
+    let mut off = 0;
+    for i in (0..shape.len()).rev() {
+        let d = shape[i];
+        let idx = linear % d;
+        linear /= d;
+        off += idx * bstrides[i];
+    }
+    off
+}
+
+/// Axes of `from` (right-aligned inside `to`) that were expanded by
+/// broadcasting and therefore must be summed over when reducing a gradient
+/// of shape `to` back to shape `from`. Returned as axes of `to`.
+pub fn broadcast_reduce_axes(from: &[usize], to: &[usize]) -> Vec<usize> {
+    let mut axes = Vec::new();
+    let offset = to.len() - from.len();
+    for i in 0..to.len() {
+        if i < offset || (from[i - offset] == 1 && to[i] != 1) {
+            axes.push(i);
+        }
+    }
+    axes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn numel_scalar_is_one() {
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[2, 3]), 6);
+        assert_eq!(numel(&[0, 3]), 0);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shape(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shape(&[2, 1], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shape(&[3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shape(&[4, 1, 3], &[2, 1]), Some(vec![4, 2, 3]));
+        assert_eq!(broadcast_shape(&[2, 3], &[3, 2]), None);
+    }
+
+    #[test]
+    fn broadcast_strides_zeroed() {
+        // [3] broadcast into [2,3]: stride 0 on the new axis.
+        assert_eq!(broadcast_strides(&[3], 2), vec![0, 1]);
+        // [2,1] broadcast into [2,3]: stride 0 on the expanded axis.
+        assert_eq!(broadcast_strides(&[2, 1], 2), vec![1, 0]);
+    }
+
+    #[test]
+    fn reduce_axes_match_expansion() {
+        assert_eq!(broadcast_reduce_axes(&[3], &[2, 3]), vec![0]);
+        assert_eq!(broadcast_reduce_axes(&[2, 1], &[2, 3]), vec![1]);
+        assert_eq!(broadcast_reduce_axes(&[1, 1], &[4, 5]), vec![0, 1]);
+        assert_eq!(broadcast_reduce_axes(&[2, 3], &[2, 3]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_offset_walks_operand() {
+        // Output shape [2,3], operand [3] with strides [0,1]:
+        // linear 0..6 maps to 0,1,2,0,1,2.
+        let shape = [2, 3];
+        let bs = broadcast_strides(&[3], 2);
+        let offs: Vec<usize> = (0..6).map(|l| broadcast_offset(l, &shape, &bs)).collect();
+        assert_eq!(offs, vec![0, 1, 2, 0, 1, 2]);
+    }
+}

@@ -1,0 +1,853 @@
+//! The dense tensor type and its (non-differentiable) math kernels.
+//!
+//! Everything here is plain data math; the autodiff layer in
+//! [`crate::autodiff`] calls these kernels from both forward and backward
+//! passes. All tensors are contiguous row-major `f32` buffers.
+
+use crate::shape::{
+    broadcast_offset, broadcast_reduce_axes, broadcast_shape, broadcast_strides, numel, strides,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, contiguous, row-major `f32` tensor.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:?}, ... {} elems]", &self.data[..8], self.data.len())
+        }
+    }
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctors
+
+    /// Builds a tensor from a flat buffer and a shape. Panics if the buffer
+    /// length does not match the shape.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            numel(shape),
+            "buffer length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self {
+            data: vec![0.0; numel(shape)],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self {
+            data: vec![value; numel(shape)],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// A scalar (shape `[1]`) tensor. Using `[1]` instead of the empty
+    /// shape keeps broadcast logic uniform.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(vec![value], &[1])
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The dimension sizes.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value at a multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        debug_assert_eq!(idx.len(), self.shape.len());
+        let st = strides(&self.shape);
+        let off: usize = idx.iter().zip(&st).map(|(i, s)| i * s).sum();
+        self.data[off]
+    }
+
+    /// The single value of a one-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor of shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    // --------------------------------------------------------- shape moves
+
+    /// Reinterprets the buffer under a new shape with the same element
+    /// count. Cheap: the buffer is moved, not copied.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            numel(shape),
+            self.data.len(),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Generalized transpose: permutes axes so that output axis `i` is
+    /// input axis `perm[i]`.
+    pub fn permute(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.ndim(), "permute rank mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let in_strides = strides(&self.shape);
+        let out_strides_in_input: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let mut out = vec![0.0; self.data.len()];
+        let n = self.data.len();
+        let mut idx = vec![0usize; out_shape.len()];
+        for (linear, slot) in out.iter_mut().enumerate().take(n) {
+            // Decompose `linear` in the output shape, then gather.
+            let mut rem = linear;
+            for i in (0..out_shape.len()).rev() {
+                idx[i] = rem % out_shape[i];
+                rem /= out_shape[i];
+            }
+            let src: usize = idx
+                .iter()
+                .zip(&out_strides_in_input)
+                .map(|(i, s)| i * s)
+                .sum();
+            *slot = self.data[src];
+        }
+        Tensor {
+            data: out,
+            shape: out_shape,
+        }
+    }
+
+    /// Swaps two axes (special case of [`Self::permute`]).
+    pub fn transpose(&self, a: usize, b: usize) -> Self {
+        let mut perm: Vec<usize> = (0..self.ndim()).collect();
+        perm.swap(a, b);
+        self.permute(&perm)
+    }
+
+    // ----------------------------------------------------------- elementwise
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Elementwise binary op with NumPy-style broadcasting.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
+        if self.shape == other.shape {
+            let data = self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor {
+                data,
+                shape: self.shape.clone(),
+            };
+        }
+        let out_shape = broadcast_shape(&self.shape, &other.shape).unwrap_or_else(|| {
+            panic!(
+                "incompatible broadcast: {:?} vs {:?}",
+                self.shape, other.shape
+            )
+        });
+        let sa = broadcast_strides(&self.shape, out_shape.len());
+        let sb = broadcast_strides(&other.shape, out_shape.len());
+        let n = numel(&out_shape);
+        let mut data = Vec::with_capacity(n);
+        for linear in 0..n {
+            let oa = broadcast_offset(linear, &out_shape, &sa);
+            let ob = broadcast_offset(linear, &out_shape, &sb);
+            data.push(f(self.data[oa], other.data[ob]));
+        }
+        Tensor {
+            data,
+            shape: out_shape,
+        }
+    }
+
+    /// Elementwise addition with broadcasting.
+    pub fn add(&self, other: &Tensor) -> Self {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    pub fn sub(&self, other: &Tensor) -> Self {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    pub fn mul(&self, other: &Tensor) -> Self {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise division with broadcasting.
+    pub fn div(&self, other: &Tensor) -> Self {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, c: f32) -> Self {
+        self.map(|x| x * c)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, c: f32) -> Self {
+        self.map(|x| x + c)
+    }
+
+    /// In-place accumulation `self += other` (shapes must match exactly).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    // ------------------------------------------------------------ reductions
+
+    /// Sum of all elements, as an `f32`.
+    pub fn sum_all(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements, as an `f32`.
+    pub fn mean_all(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum_all() / self.data.len() as f32
+        }
+    }
+
+    /// Sums over the given axes. When `keepdim` is true the reduced axes
+    /// remain with size 1; otherwise they are removed.
+    pub fn sum_axes(&self, axes: &[usize], keepdim: bool) -> Self {
+        let mut reduce = vec![false; self.ndim()];
+        for &a in axes {
+            assert!(a < self.ndim(), "sum axis {a} out of range for {:?}", self.shape);
+            reduce[a] = true;
+        }
+        let keep_shape: Vec<usize> = self
+            .shape
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| if reduce[i] { 1 } else { d })
+            .collect();
+        let out_strides_full = strides(&keep_shape);
+        let mut out = Tensor::zeros(&keep_shape);
+        let mut idx = vec![0usize; self.ndim()];
+        for (linear, &v) in self.data.iter().enumerate() {
+            let mut rem = linear;
+            for i in (0..self.ndim()).rev() {
+                idx[i] = rem % self.shape[i];
+                rem /= self.shape[i];
+            }
+            let mut off = 0;
+            for i in 0..self.ndim() {
+                let j = if reduce[i] { 0 } else { idx[i] };
+                off += j * out_strides_full[i];
+            }
+            out.data[off] += v;
+        }
+        if keepdim {
+            out
+        } else {
+            let squeezed: Vec<usize> = keep_shape
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !reduce[*i])
+                .map(|(_, &d)| d)
+                .collect();
+            let shape = if squeezed.is_empty() { vec![1] } else { squeezed };
+            out.reshape(&shape)
+        }
+    }
+
+    /// Maximum value over all elements.
+    pub fn max_all(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum value over all elements.
+    pub fn min_all(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    // -------------------------------------------------------------- matmul
+
+    /// Matrix product with NumPy-style batched broadcasting.
+    ///
+    /// The last two axes of each operand are the matrix dimensions
+    /// (`[.., m, k] @ [.., k, n] -> [.., m, n]`); leading axes broadcast.
+    /// 1-D operands are not supported — reshape explicitly instead.
+    pub fn matmul(&self, other: &Tensor) -> Self {
+        assert!(
+            self.ndim() >= 2 && other.ndim() >= 2,
+            "matmul requires >=2-D operands, got {:?} @ {:?}",
+            self.shape,
+            other.shape
+        );
+        let (m, ka) = (self.shape[self.ndim() - 2], self.shape[self.ndim() - 1]);
+        let (kb, n) = (other.shape[other.ndim() - 2], other.shape[other.ndim() - 1]);
+        assert_eq!(ka, kb, "matmul inner dim mismatch: {:?} @ {:?}", self.shape, other.shape);
+        let batch_a = &self.shape[..self.ndim() - 2];
+        let batch_b = &other.shape[..other.ndim() - 2];
+        let batch = broadcast_shape(batch_a, batch_b).unwrap_or_else(|| {
+            panic!(
+                "matmul batch dims incompatible: {:?} @ {:?}",
+                self.shape, other.shape
+            )
+        });
+        let nbatch = numel(&batch);
+        let sa = broadcast_strides(batch_a, batch.len());
+        let sb = broadcast_strides(batch_b, batch.len());
+        let a_mat = m * ka;
+        let b_mat = kb * n;
+        let mut out_shape = batch.clone();
+        out_shape.push(m);
+        out_shape.push(n);
+        let mut out = vec![0.0f32; nbatch * m * n];
+        for bi in 0..nbatch {
+            let a_off = broadcast_offset(bi, &batch, &sa) * a_mat;
+            let b_off = broadcast_offset(bi, &batch, &sb) * b_mat;
+            let o_off = bi * m * n;
+            let a = &self.data[a_off..a_off + a_mat];
+            let b = &other.data[b_off..b_off + b_mat];
+            let o = &mut out[o_off..o_off + m * n];
+            // ikj loop order: stream through b rows, accumulate into o rows.
+            for i in 0..m {
+                let arow = &a[i * ka..(i + 1) * ka];
+                let orow = &mut o[i * n..(i + 1) * n];
+                for (k, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[k * n..(k + 1) * n];
+                    for (j, &bkj) in brow.iter().enumerate() {
+                        orow[j] += aik * bkj;
+                    }
+                }
+            }
+        }
+        Tensor {
+            data: out,
+            shape: out_shape,
+        }
+    }
+
+    // ------------------------------------------------------------- sections
+
+    /// Slices `len` entries starting at `start` along `axis`.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Self {
+        assert!(axis < self.ndim(), "narrow axis out of range");
+        assert!(
+            start + len <= self.shape[axis],
+            "narrow [{start}, {start}+{len}) exceeds axis {} of size {}",
+            axis,
+            self.shape[axis]
+        );
+        let outer: usize = self.shape[..axis].iter().product();
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let d = self.shape[axis];
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = len;
+        let mut data = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let base = o * d * inner + start * inner;
+            data.extend_from_slice(&self.data[base..base + len * inner]);
+        }
+        Tensor {
+            data,
+            shape: out_shape,
+        }
+    }
+
+    /// Concatenates tensors along `axis`. All other axes must match.
+    pub fn concat(parts: &[&Tensor], axis: usize) -> Self {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let first = parts[0];
+        assert!(axis < first.ndim(), "concat axis out of range");
+        for p in parts {
+            assert_eq!(p.ndim(), first.ndim(), "concat rank mismatch");
+            for i in 0..first.ndim() {
+                if i != axis {
+                    assert_eq!(
+                        p.shape[i], first.shape[i],
+                        "concat non-axis dim mismatch at axis {i}"
+                    );
+                }
+            }
+        }
+        let outer: usize = first.shape[..axis].iter().product();
+        let inner: usize = first.shape[axis + 1..].iter().product();
+        let total_axis: usize = parts.iter().map(|p| p.shape[axis]).sum();
+        let mut out_shape = first.shape.clone();
+        out_shape[axis] = total_axis;
+        let mut data = Vec::with_capacity(outer * total_axis * inner);
+        for o in 0..outer {
+            for p in parts {
+                let d = p.shape[axis];
+                let base = o * d * inner;
+                data.extend_from_slice(&p.data[base..base + d * inner]);
+            }
+        }
+        Tensor {
+            data,
+            shape: out_shape,
+        }
+    }
+
+    /// Gathers rows along `axis` by index, producing a tensor whose `axis`
+    /// has length `indices.len()`. Out-of-range indices panic.
+    pub fn index_select(&self, axis: usize, indices: &[usize]) -> Self {
+        assert!(axis < self.ndim(), "index_select axis out of range");
+        let outer: usize = self.shape[..axis].iter().product();
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let d = self.shape[axis];
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = indices.len();
+        let mut data = Vec::with_capacity(outer * indices.len() * inner);
+        for o in 0..outer {
+            for &i in indices {
+                assert!(i < d, "index_select index {i} out of range {d}");
+                let base = o * d * inner + i * inner;
+                data.extend_from_slice(&self.data[base..base + inner]);
+            }
+        }
+        Tensor {
+            data,
+            shape: out_shape,
+        }
+    }
+
+    /// Reverses the order of entries along `axis` (used by the TimeFlipping
+    /// augmentation).
+    pub fn flip(&self, axis: usize) -> Self {
+        let d = self.shape[axis];
+        let rev: Vec<usize> = (0..d).rev().collect();
+        self.index_select(axis, &rev)
+    }
+
+    // ---------------------------------------------------------------- conv
+
+    /// Dilated 1-D convolution (cross-correlation) along the last axis.
+    ///
+    /// * `input`: `[B, C_in, T]`
+    /// * `weight`: `[C_out, C_in, K]`
+    /// * `dilation`: spacing between taps
+    /// * `pad_left`: zeros virtually prepended to the time axis. With
+    ///   `pad_left = (K-1) * dilation` the output keeps length `T` and is
+    ///   causal; with `pad_left = 0` the output shrinks to
+    ///   `T - (K-1) * dilation` (GraphWaveNet style).
+    pub fn conv1d(&self, weight: &Tensor, dilation: usize, pad_left: usize) -> Self {
+        assert_eq!(self.ndim(), 3, "conv1d input must be [B, C_in, T]");
+        assert_eq!(weight.ndim(), 3, "conv1d weight must be [C_out, C_in, K]");
+        let (b, cin, t) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (cout, wcin, k) = (weight.shape[0], weight.shape[1], weight.shape[2]);
+        assert_eq!(cin, wcin, "conv1d channel mismatch");
+        let span = (k - 1) * dilation;
+        assert!(
+            t + pad_left > span,
+            "conv1d receptive field {span} exceeds padded length {}",
+            t + pad_left
+        );
+        let t_out = t + pad_left - span;
+        let mut out = vec![0.0f32; b * cout * t_out];
+        for bi in 0..b {
+            for co in 0..cout {
+                let o_base = (bi * cout + co) * t_out;
+                for ci in 0..cin {
+                    let x_base = (bi * cin + ci) * t;
+                    let w_base = (co * cin + ci) * k;
+                    for ki in 0..k {
+                        let w = weight.data[w_base + ki];
+                        if w == 0.0 {
+                            continue;
+                        }
+                        // input index = t_out_index + ki*dilation - pad_left
+                        let shift = ki * dilation;
+                        for to in 0..t_out {
+                            let j = to + shift;
+                            if j < pad_left {
+                                continue;
+                            }
+                            let j = j - pad_left;
+                            if j < t {
+                                out[o_base + to] += w * self.data[x_base + j];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor {
+            data: out,
+            shape: vec![b, cout, t_out],
+        }
+    }
+
+    // ------------------------------------------------------------- softmax
+
+    /// Softmax along `axis`, numerically stabilised by subtracting the
+    /// per-slice maximum.
+    pub fn softmax(&self, axis: usize) -> Self {
+        assert!(axis < self.ndim(), "softmax axis out of range");
+        let outer: usize = self.shape[..axis].iter().product();
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let d = self.shape[axis];
+        let mut out = vec![0.0f32; self.data.len()];
+        for o in 0..outer {
+            for i in 0..inner {
+                let idx = |j: usize| o * d * inner + j * inner + i;
+                let mut mx = f32::NEG_INFINITY;
+                for j in 0..d {
+                    mx = mx.max(self.data[idx(j)]);
+                }
+                let mut sum = 0.0;
+                for j in 0..d {
+                    let e = (self.data[idx(j)] - mx).exp();
+                    out[idx(j)] = e;
+                    sum += e;
+                }
+                for j in 0..d {
+                    out[idx(j)] /= sum;
+                }
+            }
+        }
+        Tensor {
+            data: out,
+            shape: self.shape.clone(),
+        }
+    }
+
+    // ---------------------------------------------------------- grad helper
+
+    /// Reduces a (possibly broadcast) gradient back to `target` shape by
+    /// summing over expanded axes. Inverse of broadcasting in backward
+    /// passes.
+    pub fn reduce_to_shape(&self, target: &[usize]) -> Self {
+        if self.shape == target {
+            return self.clone();
+        }
+        let axes = broadcast_reduce_axes(target, &self.shape);
+        let mut t = self.sum_axes(&axes, true);
+        // sum_axes keeps rank; drop leading axes that `target` lacks.
+        if t.ndim() > target.len() {
+            let lead: usize = t.shape[..t.ndim() - target.len()].iter().product();
+            assert_eq!(lead, 1, "reduce_to_shape cannot drop non-unit axes");
+            let s = t.shape[t.ndim() - target.len()..].to_vec();
+            t = t.reshape(&s);
+        }
+        assert_eq!(t.shape(), target, "reduce_to_shape failed");
+        t
+    }
+
+    // -------------------------------------------------------------- stats
+
+    /// Pearson correlation coefficient between two equal-length tensors
+    /// (flattened). Returns 0 when either side has zero variance.
+    pub fn pearson(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "pearson length mismatch");
+        let n = self.len() as f32;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let ma = self.mean_all();
+        let mb = other.mean_all();
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for (&a, &b) in self.data.iter().zip(&other.data) {
+            let da = a - ma;
+            let db = b - mb;
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+        if va <= f32::EPSILON || vb <= f32::EPSILON {
+            return 0.0;
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    /// Frobenius (L2) norm of the whole tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.shape(), &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_bad_len_panics() {
+        let _ = Tensor::from_vec(vec![1.0], &[2, 3]);
+    }
+
+    #[test]
+    fn broadcast_add() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        let c = a.add(&b);
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn broadcast_column() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![10.0, 100.0], &[2, 1]);
+        let c = a.mul(&b);
+        assert_eq!(c.data(), &[10.0, 20.0, 30.0, 400.0, 500.0, 600.0]);
+    }
+
+    #[test]
+    fn matmul_2d() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_broadcast_lhs_2d() {
+        // A[2,2] @ X[3,2,1] -> [3,2,1]
+        let a = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]); // swap rows
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2, 1]);
+        let y = a.matmul(&x);
+        assert_eq!(y.shape(), &[3, 2, 1]);
+        assert_eq!(y.data(), &[2.0, 1.0, 4.0, 3.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_batched_equal() {
+        let a = Tensor::from_vec((0..8).map(|x| x as f32).collect(), &[2, 2, 2]);
+        let b = Tensor::eye(2).reshape(&[1, 2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn sum_axes_keepdim() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let s = t.sum_axes(&[1], true);
+        assert_eq!(s.shape(), &[2, 1]);
+        assert_eq!(s.data(), &[6.0, 15.0]);
+        let s2 = t.sum_axes(&[0], false);
+        assert_eq!(s2.shape(), &[3]);
+        assert_eq!(s2.data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn sum_all_axes_gives_scalar() {
+        let t = Tensor::ones(&[2, 3]);
+        let s = t.sum_axes(&[0, 1], false);
+        assert_eq!(s.shape(), &[1]);
+        assert_eq!(s.item(), 6.0);
+    }
+
+    #[test]
+    fn permute_and_transpose() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        let p = t.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.at(&[1, 0, 2]), t.at(&[0, 2, 1]));
+        let tr = t.transpose(0, 2);
+        assert_eq!(tr.shape(), &[4, 3, 2]);
+        assert_eq!(tr.at(&[3, 2, 1]), t.at(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn narrow_middle_axis() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        let n = t.narrow(1, 1, 2);
+        assert_eq!(n.shape(), &[2, 2, 4]);
+        assert_eq!(n.at(&[0, 0, 0]), t.at(&[0, 1, 0]));
+        assert_eq!(n.at(&[1, 1, 3]), t.at(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn concat_roundtrip_with_narrow() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        let a = t.narrow(1, 0, 1);
+        let b = t.narrow(1, 1, 2);
+        let c = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c, t);
+    }
+
+    #[test]
+    fn index_select_and_flip() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let s = t.index_select(0, &[2, 0]);
+        assert_eq!(s.data(), &[5.0, 6.0, 1.0, 2.0]);
+        let f = t.flip(0);
+        assert_eq!(f.data(), &[5.0, 6.0, 3.0, 4.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn conv1d_causal_identity() {
+        // K=1 kernel with weight 1 is identity.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
+        let w = Tensor::from_vec(vec![1.0], &[1, 1, 1]);
+        let y = x.conv1d(&w, 1, 0);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv1d_shrinks_without_padding() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
+        let w = Tensor::from_vec(vec![1.0, 1.0], &[1, 1, 2]);
+        // out[t] = x[t] + x[t+1], length 3
+        let y = x.conv1d(&w, 1, 0);
+        assert_eq!(y.shape(), &[1, 1, 3]);
+        assert_eq!(y.data(), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn conv1d_causal_padding_keeps_length() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
+        let w = Tensor::from_vec(vec![1.0, 1.0], &[1, 1, 2]);
+        let y = x.conv1d(&w, 1, 1);
+        assert_eq!(y.shape(), &[1, 1, 4]);
+        // left-padded with one zero: out[0]=0+1, out[1]=1+2, ...
+        assert_eq!(y.data(), &[1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn conv1d_dilated() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0], &[1, 1, 5]);
+        let w = Tensor::from_vec(vec![1.0, 1.0], &[1, 1, 2]);
+        // dilation 2: out[t] = x[t] + x[t+2], length 3
+        let y = x.conv1d(&w, 2, 0);
+        assert_eq!(y.shape(), &[1, 1, 3]);
+        assert_eq!(y.data(), &[4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let s = t.softmax(1);
+        let r0: f32 = s.data()[..3].iter().sum();
+        let r1: f32 = s.data()[3..].iter().sum();
+        assert!((r0 - 1.0).abs() < 1e-6);
+        assert!((r1 - 1.0).abs() < 1e-6);
+        // Uniform row stays uniform.
+        assert!((s.data()[3] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let s = t.softmax(1);
+        assert!(s.data().iter().all(|v| v.is_finite()));
+        assert!((s.data()[0] + s.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reduce_to_shape_inverts_broadcast() {
+        let g = Tensor::ones(&[2, 3]);
+        let r = g.reduce_to_shape(&[3]);
+        assert_eq!(r.data(), &[2.0, 2.0, 2.0]);
+        let r2 = g.reduce_to_shape(&[2, 1]);
+        assert_eq!(r2.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![2.0, 4.0, 6.0], &[3]);
+        assert!((a.pearson(&b) - 1.0).abs() < 1e-6);
+        let c = Tensor::from_vec(vec![3.0, 2.0, 1.0], &[3]);
+        assert!((a.pearson(&c) + 1.0).abs() < 1e-6);
+        let flat = Tensor::ones(&[3]);
+        assert_eq!(a.pearson(&flat), 0.0);
+    }
+
+    #[test]
+    fn eye_matmul_identity() {
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[3, 3]);
+        let y = Tensor::eye(3).matmul(&x);
+        assert_eq!(x, y);
+    }
+}

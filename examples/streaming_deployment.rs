@@ -1,0 +1,80 @@
+//! A deployment-shaped walkthrough: the high-level [`UrclPipeline`] API
+//! plus JSON checkpointing.
+//!
+//! ```bash
+//! cargo run --release --example streaming_deployment
+//! ```
+//!
+//! Simulates a production loop: periods of sensor data arrive one at a
+//! time; after each, the pipeline trains continually (replay + RMIR +
+//! STMixup + STSimSiam under the hood), produces a live forecast, and
+//! checkpoints itself to disk. A second pipeline instance then restores
+//! the checkpoint and must forecast identically.
+
+use urcl::core::{load_checkpoint, save_checkpoint, TrainerConfig, UrclPipeline};
+use urcl::stdata::{DatasetConfig, SyntheticDataset};
+
+fn main() {
+    // The stream source (stand-in for a live sensor feed).
+    let ds = SyntheticDataset::generate(DatasetConfig::metr_la().tiny());
+    let split = ds.continual_split(3);
+
+    // The forecaster.
+    let trainer_cfg = TrainerConfig {
+        epochs_base: 3,
+        epochs_incremental: 2,
+        window_stride: 4,
+        ..TrainerConfig::default()
+    };
+    let mut pipeline = UrclPipeline::new(ds.network.clone(), ds.config.clone(), trainer_cfg, 7);
+
+    let ckpt_path = std::env::temp_dir().join("urcl-deployment.ckpt.json");
+    println!("{:<8} {:>8} {:>8}   live forecast (first 4 sensors, mph)", "period", "MAE", "RMSE");
+
+    for period in split.all_periods() {
+        // 1. A new period of raw data has accumulated: learn it.
+        let report = pipeline.observe_period(period.series.clone());
+
+        // 2. Forecast the next step from the freshest window.
+        let m = ds.config.input_steps;
+        let t = period.series.shape()[0];
+        let window = period.series.narrow(0, t - m, m);
+        let pred = pipeline.forecast(&window);
+        let preview: Vec<String> = pred.data()[..4.min(pred.len())]
+            .iter()
+            .map(|v| format!("{v:5.1}"))
+            .collect();
+        println!(
+            "{:<8} {:>8.2} {:>8.2}   [{}]",
+            report.name,
+            report.mae,
+            report.rmse,
+            preview.join(", ")
+        );
+
+        // 3. Checkpoint after every period.
+        save_checkpoint(&ckpt_path, "deployment walkthrough", pipeline.store())
+            .expect("checkpoint write");
+    }
+
+    // Disaster recovery: a fresh process restores the checkpoint and
+    // produces bit-identical forecasts.
+    let ckpt = load_checkpoint(&ckpt_path).expect("checkpoint read");
+    let trainer_cfg = TrainerConfig::default();
+    let mut restored = UrclPipeline::new(ds.network.clone(), ds.config.clone(), trainer_cfg, 7);
+    // Re-fit the normalizer by replaying the base period statistics, then
+    // adopt the trained weights.
+    let base = &split.base.series;
+    restored.observe_period_statistics_only(base);
+    restored.restore(&ckpt.store);
+
+    let m = ds.config.input_steps;
+    let last = split.all_periods().last().unwrap().series.clone();
+    let t = last.shape()[0];
+    let window = last.narrow(0, t - m, m);
+    let a = pipeline.forecast(&window);
+    let b = restored.forecast(&window);
+    assert_eq!(a, b, "restored pipeline must forecast identically");
+    println!("\ncheckpoint restored; forecasts identical ✓");
+    std::fs::remove_file(&ckpt_path).ok();
+}

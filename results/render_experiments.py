@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Fills EXPERIMENTS.md placeholders from the results/*.json files."""
+import json
+import os
+import re
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+
+
+def load(name):
+    path = os.path.join(HERE, name + ".json")
+    with open(path) as f:
+        return json.load(f)
+
+
+def per_set_table(runs, datasets):
+    out = []
+    for ds in datasets:
+        rows = [r for r in runs if r["dataset"] == ds]
+        if not rows:
+            continue
+        out.append(f"\n*{ds}*\n")
+        out.append("| method | B_set | I1 | I2 | I3 | I4 |")
+        out.append("|---|---|---|---|---|---|")
+        for r in rows:
+            maes = [f"{s['mae']:.2f}" for s in r["report"]["sets"]]
+            out.append("| " + r["label"] + " | " + " | ".join(maes) + " |")
+    return "\n".join(out) + "\n"
+
+
+def inc_mean(report):
+    inc = [s["mae"] for s in report["sets"] if s["name"] != "B_set"]
+    return sum(inc) / len(inc) if inc else 0.0
+
+
+def fig6_table(runs):
+    out = ["", "| variant | METR-LA | PEMS08 |", "|---|---|---|"]
+    labels = ["URCL", "w/o_STU", "w/o_RMIR", "w/o_STA", "w/o_GCL"]
+    for lab in labels:
+        cells = []
+        for ds in ["METR-LA", "PEMS08"]:
+            r = next(x for x in runs if x["label"] == lab and x["dataset"] == ds)
+            cells.append(f"{inc_mean(r['report']):.2f}")
+        out.append(f"| {lab} | {cells[0]} | {cells[1]} |")
+    return "\n".join(out) + "\n"
+
+
+def fig7_table(runs):
+    out = [
+        "",
+        "| model | train s/epoch (B_set) | train s/epoch (incr. mean) | infer ms/obs |",
+        "|---|---|---|---|",
+    ]
+    for r in runs:
+        sets = r["report"]["sets"]
+        base = sets[0]["train_seconds_per_epoch"]
+        inc = [s["train_seconds_per_epoch"] for s in sets[1:]]
+        incm = sum(inc) / len(inc) if inc else 0.0
+        infer = sum(s["infer_seconds_per_obs"] for s in sets) / len(sets) * 1000
+        out.append(f"| {r['label']} | {base:.2f} | {incm:.2f} | {infer:.3f} |")
+    return "\n".join(out) + "\n"
+
+
+def fig8_text(runs):
+    out = [""]
+    for r in runs:
+        out.append(f"*{r['dataset']}* (mean training loss per epoch):\n")
+        for s in r["report"]["sets"]:
+            curve = " ".join(f"{v:.4f}" for v in s["loss_curve"])
+            out.append(f"- `{s['name']}`: {curve}")
+        out.append("")
+    return "\n".join(out) + "\n"
+
+
+def table3_notes(runs):
+    notes = []
+    for ds in ["METR-LA", "PEMS-BAY", "PEMS04", "PEMS08"]:
+        rows = [r for r in runs if r["dataset"] == ds]
+        ranked = sorted(rows, key=lambda r: inc_mean(r["report"]))
+        order = " < ".join(f"{r['label']} {inc_mean(r['report']):.2f}" for r in ranked)
+        notes.append(f"- {ds} (mean incremental MAE): {order}")
+    return "\n" + "\n".join(notes) + "\n"
+
+
+def main():
+    md_path = os.path.join(ROOT, "EXPERIMENTS.md")
+    with open(md_path) as f:
+        md = f.read()
+
+    t2 = load("table2_streaming")
+    t3 = load("table3_overall")
+    t4 = load("table4_backbones")
+    f6 = load("fig6_ablation")
+    f7 = load("fig7_efficiency")
+    f8 = load("fig8_convergence")
+
+    fills = {
+        "<!-- TABLE2 -->": per_set_table(t2, ["PEMS-BAY", "PEMS08"]),
+        "<!-- TABLE3 -->": per_set_table(
+            t3, ["METR-LA", "PEMS-BAY", "PEMS04", "PEMS08"]
+        ),
+        "<!-- TABLE3NOTES -->": table3_notes(t3),
+        "<!-- TABLE4 -->": per_set_table(t4, ["METR-LA", "PEMS04"]),
+        "<!-- FIG6 -->": fig6_table(f6),
+        "<!-- FIG7 -->": fig7_table(f7),
+        "<!-- FIG8 -->": fig8_text(f8),
+    }
+    for marker, content in fills.items():
+        assert marker in md, f"missing {marker}"
+        md = md.replace(marker, content)
+
+    assert not re.search(r"<!-- [A-Z0-9]+ -->", md), "unfilled placeholder"
+    with open(md_path, "w") as f:
+        f.write(md)
+    print("EXPERIMENTS.md filled")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+//! # urcl
+//!
+//! Facade crate for the `urcl-rs` workspace: a from-scratch Rust
+//! reproduction of *"A Unified Replay-based Continuous Learning Framework
+//! for Spatio-Temporal Prediction on Streaming Data"* (ICDE 2024).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`tensor`] — dense tensors + tape autodiff (the training substrate)
+//! * [`graph`] — sensor networks and diffusion supports
+//! * [`stdata`] — synthetic streaming spatio-temporal datasets
+//! * [`nn`] — neural layers (GCN, gated TCN, GRU, attention, …)
+//! * [`models`] — GraphWaveNet and the paper's baselines
+//! * [`core`] — the URCL framework itself (replay, RMIR, STMixup,
+//!   augmentations, STSimSiam, continuous trainer)
+
+pub use urcl_core as core;
+pub use urcl_graph as graph;
+pub use urcl_models as models;
+pub use urcl_nn as nn;
+pub use urcl_stdata as stdata;
+pub use urcl_tensor as tensor;

@@ -1,0 +1,213 @@
+//! Integration tests across `urcl-models` + `urcl-core`: every deep
+//! backbone must (a) produce correctly-shaped predictions, (b) train
+//! through the continuous trainer, and (c) work as a URCL backbone with
+//! the STSimSiam head — the generality claim of Table IV.
+
+use urcl::core::{ContinualTrainer, Strategy, StSimSiam, TrainerConfig};
+use urcl::graph::SensorNetwork;
+use urcl::models::{
+    Agcrn, Arima, Backbone, BackboneConfig, Dcrnn, GeoMan, GraphWaveNet, GwnConfig, Mtgnn,
+    Stgcn, Stgode,
+};
+use urcl::stdata::{ContinualSplit, DatasetConfig, SyntheticDataset};
+use urcl::tensor::autodiff::{Session, Tape};
+use urcl::tensor::{ParamStore, Rng};
+
+fn tiny() -> (SyntheticDataset, ContinualSplit, f32) {
+    let dataset = SyntheticDataset::generate(DatasetConfig::metr_la().tiny());
+    let normalizer = dataset.fit_normalizer();
+    let raw = dataset.continual_split(2);
+    let split = ContinualSplit {
+        base: raw.base.normalized(&normalizer),
+        incremental: raw
+            .incremental
+            .iter()
+            .map(|p| p.normalized(&normalizer))
+            .collect(),
+    };
+    let scale = normalizer.scale(dataset.config.target_channel);
+    (dataset, split, scale)
+}
+
+fn all_backbones(
+    net: &SensorNetwork,
+    cfg: &DatasetConfig,
+) -> Vec<(Box<dyn Backbone>, ParamStore)> {
+    let base = || {
+        BackboneConfig::small(
+            cfg.num_nodes,
+            cfg.num_channels(),
+            cfg.input_steps,
+            cfg.output_steps,
+        )
+    };
+    let mut out: Vec<(Box<dyn Backbone>, ParamStore)> = Vec::new();
+    {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from_u64(1);
+        let mut gcfg = GwnConfig::small(
+            cfg.num_nodes,
+            cfg.num_channels(),
+            cfg.input_steps,
+            cfg.output_steps,
+        );
+        gcfg.layers = 2;
+        out.push((
+            Box::new(GraphWaveNet::new(&mut store, &mut rng, net, gcfg)),
+            store,
+        ));
+    }
+    macro_rules! push {
+        ($ctor:expr) => {{
+            let mut store = ParamStore::new();
+            let mut rng = Rng::seed_from_u64(1);
+            #[allow(clippy::redundant_closure_call)]
+            let model: Box<dyn Backbone> = Box::new($ctor(&mut store, &mut rng));
+            out.push((model, store));
+        }};
+    }
+    push!(|s: &mut ParamStore, r: &mut Rng| Dcrnn::new(s, r, net, base(), 2));
+    push!(|s: &mut ParamStore, r: &mut Rng| Stgcn::new(s, r, net, base(), 2, 3));
+    push!(|s: &mut ParamStore, r: &mut Rng| Mtgnn::new(s, r, base(), 4));
+    push!(|s: &mut ParamStore, r: &mut Rng| Agcrn::new(s, r, base(), 4));
+    push!(|s: &mut ParamStore, r: &mut Rng| Stgode::new(s, r, net, base(), 3, 0.3));
+    push!(|s: &mut ParamStore, r: &mut Rng| GeoMan::new(s, r, base()));
+    out
+}
+
+#[test]
+fn every_backbone_predicts_correct_shapes() {
+    let (dataset, split, _) = tiny();
+    let windows = split.base.windows(&dataset.config);
+    let batch = urcl::stdata::stack_samples(&windows[..3]);
+    for (model, store) in all_backbones(&dataset.network, &dataset.config) {
+        let tape = Tape::new();
+        let mut sess = Session::new(&tape, &store);
+        let x = sess.input(batch.x.clone());
+        let latent = model.encode(&mut sess, x);
+        assert_eq!(
+            latent.shape()[..2],
+            [3, dataset.config.num_nodes],
+            "{} latent shape",
+            model.name()
+        );
+        let pred = model.decode(&mut sess, latent);
+        assert_eq!(
+            pred.shape(),
+            vec![3, 1, dataset.config.num_nodes],
+            "{} prediction shape",
+            model.name()
+        );
+        assert!(
+            pred.value().data().iter().all(|v| v.is_finite()),
+            "{} produced non-finite predictions",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn every_backbone_trains_through_the_stream() {
+    let (dataset, split, scale) = tiny();
+    for (model, mut store) in all_backbones(&dataset.network, &dataset.config) {
+        let cfg = TrainerConfig {
+            strategy: Strategy::FinetuneSt,
+            epochs_base: 1,
+            epochs_incremental: 1,
+            window_stride: 10,
+            ..TrainerConfig::default()
+        };
+        let mut trainer = ContinualTrainer::new(cfg);
+        let report = trainer.run(
+            model.as_ref(),
+            None,
+            &mut store,
+            &dataset.network,
+            &split,
+            &dataset.config,
+            scale,
+        );
+        assert_eq!(report.sets.len(), 3, "{}", model.name());
+        assert!(
+            report.sets.iter().all(|s| s.mae.is_finite()),
+            "{} diverged",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn urcl_accepts_alternate_backbones() {
+    // Table IV: DCRNN and GeoMAN as URCL backbones.
+    let (dataset, split, scale) = tiny();
+    let base = BackboneConfig::small(
+        dataset.config.num_nodes,
+        dataset.config.num_channels(),
+        dataset.config.input_steps,
+        dataset.config.output_steps,
+    );
+    let candidates: Vec<(Box<dyn Backbone>, ParamStore, StSimSiam)> = {
+        let mut v: Vec<(Box<dyn Backbone>, ParamStore, StSimSiam)> = Vec::new();
+        {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::seed_from_u64(2);
+            let m = Dcrnn::new(&mut store, &mut rng, &dataset.network, base.clone(), 1);
+            let sim = StSimSiam::new(&mut store, &mut rng, base.latent, 16, 0.5);
+            v.push((Box::new(m), store, sim));
+        }
+        {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::seed_from_u64(2);
+            let m = GeoMan::new(&mut store, &mut rng, base.clone());
+            let sim = StSimSiam::new(&mut store, &mut rng, base.latent, 16, 0.5);
+            v.push((Box::new(m), store, sim));
+        }
+        v
+    };
+    for (model, mut store, sim) in candidates {
+        let cfg = TrainerConfig {
+            epochs_base: 1,
+            epochs_incremental: 1,
+            window_stride: 12,
+            ..TrainerConfig::default()
+        };
+        let mut trainer = ContinualTrainer::new(cfg);
+        let report = trainer.run(
+            model.as_ref(),
+            Some(&sim),
+            &mut store,
+            &dataset.network,
+            &split,
+            &dataset.config,
+            scale,
+        );
+        assert!(
+            report.sets.iter().all(|s| s.mae.is_finite()),
+            "URCL with {} backbone diverged",
+            model.name()
+        );
+        assert!(!trainer.buffer().is_empty());
+    }
+}
+
+#[test]
+fn arima_fits_and_forecasts_the_stream() {
+    let (dataset, split, _) = tiny();
+    let cfg = &dataset.config;
+    let train = &split.base.series;
+    let t = train.shape()[0];
+    let target = train
+        .index_select(2, &[cfg.target_channel])
+        .reshape(&[t, cfg.num_nodes]);
+    let model = Arima::fit(&target, 3, 0);
+    let windows = split.base.windows(cfg);
+    let w = &windows[10];
+    let xt = w
+        .x
+        .index_select(2, &[cfg.target_channel])
+        .reshape(&[cfg.input_steps, cfg.num_nodes]);
+    let pred = model.forecast(&xt);
+    assert_eq!(pred.shape(), &[1, cfg.num_nodes]);
+    // Normalized data: predictions should be near [0, 1].
+    assert!(pred.data().iter().all(|v| v.is_finite() && *v > -0.5 && *v < 1.5));
+}
