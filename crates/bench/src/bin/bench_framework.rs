@@ -1,0 +1,199 @@
+//! Micro-benchmarks of the URCL framework components: replay-buffer
+//! operations, STMixup, the five augmentations, RMIR sampling, GWN
+//! forward/backward and diffusion-support construction — the per-step
+//! costs behind Fig. 7. Hand-rolled timing (best-of-repeats), no
+//! external harness; writes `results/bench_framework.json`.
+
+use std::hint::black_box;
+use std::time::Instant;
+use urcl_bench::write_results;
+use urcl_core::{rmir_sample, st_mixup, Augmentation, ReplayBuffer};
+use urcl_graph::{random_geometric, SensorNetwork, SupportSet};
+use urcl_json::{ToJson, Value};
+use urcl_models::{Backbone, GraphWaveNet, GwnConfig};
+use urcl_stdata::{stack_samples, Batch, Sample};
+use urcl_tensor::autodiff::{Session, Tape};
+use urcl_tensor::{ParamStore, Rng};
+
+const NODES: usize = 24;
+const STEPS: usize = 12;
+const CHANNELS: usize = 2;
+
+fn make_net(rng: &mut Rng) -> SensorNetwork {
+    random_geometric(NODES, 0.3, rng)
+}
+
+fn make_sample(rng: &mut Rng) -> Sample {
+    Sample {
+        x: rng.uniform_tensor(&[STEPS, NODES, CHANNELS], 0.0, 1.0),
+        y: rng.uniform_tensor(&[1, NODES], 0.0, 1.0),
+    }
+}
+
+fn make_batch(rng: &mut Rng, b: usize) -> Batch {
+    let samples: Vec<Sample> = (0..b).map(|_| make_sample(rng)).collect();
+    stack_samples(&samples)
+}
+
+fn make_model(rng: &mut Rng, net: &SensorNetwork) -> (GraphWaveNet, ParamStore) {
+    let mut store = ParamStore::new();
+    let cfg = GwnConfig::small(NODES, CHANNELS, STEPS, 1);
+    let model = GraphWaveNet::new(&mut store, rng, net, cfg);
+    (model, store)
+}
+
+struct Timed {
+    name: String,
+    micros: f64,
+}
+
+impl ToJson for Timed {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("name", self.name.as_str())
+            .with("micros_per_iter", self.micros)
+    }
+}
+
+/// Best-of-batches mean time per iteration, sampling for `min_seconds`.
+fn bench(name: &str, min_seconds: f64, mut f: impl FnMut()) -> Timed {
+    f(); // warm up
+    // Size a batch so one batch takes roughly a millisecond.
+    let probe = {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64().max(1e-7)
+    };
+    let iters_per_batch = ((1e-3 / probe) as usize).clamp(1, 10_000);
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    while total < min_seconds {
+        let t0 = Instant::now();
+        for _ in 0..iters_per_batch {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt / iters_per_batch as f64);
+        total += dt;
+    }
+    let micros = best * 1e6;
+    println!("{name:<28} {micros:>12.2} us/iter");
+    Timed {
+        name: name.to_string(),
+        micros,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let min_secs = if quick { 0.02 } else { 0.2 };
+    let mut results: Vec<Timed> = Vec::new();
+
+    println!("framework micro-benchmark ({min_secs}s sampling per case)");
+
+    // Replay buffer: push and uniform sampling at the swept capacities.
+    for &cap in &[64usize, 256, 1024] {
+        let mut rng = Rng::seed_from_u64(1);
+        let sample = make_sample(&mut rng);
+        let mut buf = ReplayBuffer::new(cap);
+        results.push(bench(&format!("buffer_push_cap{cap}"), min_secs, || {
+            buf.push(black_box(sample.clone()))
+        }));
+        let mut rng = Rng::seed_from_u64(2);
+        let mut buf = ReplayBuffer::new(cap);
+        for _ in 0..cap {
+            buf.push(make_sample(&mut rng));
+        }
+        results.push(bench(&format!("buffer_uniform8_cap{cap}"), min_secs, || {
+            black_box(buf.sample_uniform(8, &mut rng));
+        }));
+    }
+
+    // STMixup on a batch of 8.
+    {
+        let mut rng = Rng::seed_from_u64(3);
+        let cur = make_batch(&mut rng, 8);
+        let rep = make_batch(&mut rng, 8);
+        results.push(bench("st_mixup_b8", min_secs, || {
+            black_box(st_mixup(&cur, &rep, 0.8, &mut rng));
+        }));
+    }
+
+    // The five augmentations.
+    {
+        let mut rng = Rng::seed_from_u64(4);
+        let net = make_net(&mut rng);
+        let batch = make_batch(&mut rng, 8);
+        let cases: [(&str, Augmentation); 5] = [
+            ("aug_drop_nodes", Augmentation::DropNodes { ratio: 0.1 }),
+            ("aug_drop_edges", Augmentation::DropEdges { ratio: 0.2 }),
+            ("aug_subgraph", Augmentation::SubGraph { keep_ratio: 0.8 }),
+            (
+                "aug_add_edges",
+                Augmentation::AddEdges {
+                    ratio: 0.05,
+                    min_hops: 3,
+                },
+            ),
+            ("aug_time_shift", Augmentation::TimeShift),
+        ];
+        for (name, aug) in cases {
+            results.push(bench(name, min_secs, || {
+                black_box(aug.apply(&batch.x, &net, 2, &mut rng));
+            }));
+        }
+    }
+
+    // RMIR interference scoring.
+    {
+        let mut rng = Rng::seed_from_u64(5);
+        let net = make_net(&mut rng);
+        let (model, store) = make_model(&mut rng, &net);
+        let mut buffer = ReplayBuffer::new(64);
+        for _ in 0..64 {
+            buffer.push(make_sample(&mut rng));
+        }
+        let current = make_batch(&mut rng, 8);
+        let pool: Vec<usize> = (0..48).collect();
+        results.push(bench("rmir_sample_pool48_b8", min_secs, || {
+            black_box(rmir_sample(
+                &buffer, &pool, &current, &model, &store, 3e-3, 24, 8,
+            ));
+        }));
+    }
+
+    // GraphWaveNet forward and forward+backward.
+    {
+        let mut rng = Rng::seed_from_u64(6);
+        let net = make_net(&mut rng);
+        let (model, store) = make_model(&mut rng, &net);
+        let batch = make_batch(&mut rng, 8);
+        results.push(bench("gwn_forward_b8", min_secs, || {
+            let tape = Tape::new();
+            let mut sess = Session::new(&tape, &store);
+            let x = sess.input(batch.x.clone());
+            black_box(model.forward(&mut sess, x).value());
+        }));
+        results.push(bench("gwn_fwd_bwd_b8", min_secs, || {
+            let tape = Tape::new();
+            let mut sess = Session::new(&tape, &store);
+            let x = sess.input(batch.x.clone());
+            let y = sess.input(batch.y.clone());
+            let loss = model.forward(&mut sess, x).sub(y).abs().mean_all();
+            black_box(tape.backward(loss));
+        }));
+    }
+
+    // Diffusion-support construction vs K.
+    {
+        let mut rng = Rng::seed_from_u64(7);
+        let net = make_net(&mut rng);
+        for &k in &[1usize, 2, 3] {
+            results.push(bench(&format!("diffusion_supports_k{k}"), min_secs, || {
+                black_box(SupportSet::diffusion(&net, k));
+            }));
+        }
+    }
+
+    write_results("bench_framework", &results);
+}

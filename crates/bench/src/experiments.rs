@@ -5,12 +5,12 @@ use crate::{
     format_row, run_arima, run_deep_model, set_header, write_results, Effort,
     ExperimentContext, ModelKind,
 };
-use serde::Serialize;
 use urcl_core::{Ablation, RunReport, Strategy, TrainerConfig};
+use urcl_json::{ToJson, Value};
 use urcl_stdata::DatasetConfig;
 
 /// A labelled run, the unit every results file is made of.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LabelledRun {
     /// Dataset name.
     pub dataset: String,
@@ -18,6 +18,15 @@ pub struct LabelledRun {
     pub label: String,
     /// The full per-set report.
     pub report: RunReport,
+}
+
+impl ToJson for LabelledRun {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("dataset", self.dataset.as_str())
+            .with("label", self.label.as_str())
+            .with("report", self.report.to_json())
+    }
 }
 
 fn urcl_config(effort: &Effort) -> TrainerConfig {
@@ -58,16 +67,17 @@ pub fn table1() {
             cfg.input_steps,
             cfg.output_steps
         );
-        rows.push(serde_json::json!({
-            "name": cfg.name,
-            "nodes": cfg.num_nodes,
-            "interval_minutes": cfg.interval_minutes,
-            "days": cfg.num_days,
-            "channels": cfg.num_channels(),
-            "input_steps": cfg.input_steps,
-            "output_steps": cfg.output_steps,
-            "total_steps": cfg.total_steps(),
-        }));
+        rows.push(
+            Value::object()
+                .with("name", cfg.name.as_str())
+                .with("nodes", cfg.num_nodes)
+                .with("interval_minutes", cfg.interval_minutes)
+                .with("days", cfg.num_days)
+                .with("channels", cfg.num_channels())
+                .with("input_steps", cfg.input_steps)
+                .with("output_steps", cfg.output_steps)
+                .with("total_steps", cfg.total_steps()),
+        );
     }
     write_results("table1_datasets", &rows);
 }

@@ -10,8 +10,8 @@
 
 pub mod experiments;
 
-use serde::Serialize;
 use std::path::Path;
+use urcl_json::ToJson;
 use urcl_core::{ContinualTrainer, Metrics, RunReport, SetReport, Stopwatch, StSimSiam, TrainerConfig};
 use urcl_graph::SensorNetwork;
 use urcl_models::{
@@ -315,14 +315,13 @@ pub fn format_row(label: &str, report: &RunReport) -> String {
     )
 }
 
-/// Writes a serializable result to `results/<name>.json` relative to the
-/// workspace root (created if needed).
-pub fn write_results<T: Serialize>(name: &str, value: &T) {
+/// Writes a JSON-convertible result to `results/<name>.json` relative to
+/// the workspace root (created if needed).
+pub fn write_results(name: &str, value: &impl ToJson) {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize results");
-    std::fs::write(&path, json).expect("write results file");
+    std::fs::write(&path, value.to_json().to_string_pretty()).expect("write results file");
     println!("[results -> {}]", path.display());
 }
 

@@ -4,17 +4,17 @@
 //! incremental sets; this module provides that, plus round-trip
 //! verification. The format is a versioned JSON document holding the
 //! parameter store (names, shapes, values) so checkpoints are
-//! inspectable with standard tooling.
+//! inspectable with standard tooling. Serialization is hand-rolled on
+//! [`urcl_json`] — no external crates.
 
-use serde::{Deserialize, Serialize};
 use std::path::Path;
-use urcl_tensor::ParamStore;
+use urcl_json::Value;
+use urcl_tensor::{ParamStore, Tensor};
 
 /// Current checkpoint format version.
 pub const CHECKPOINT_VERSION: u32 = 1;
 
 /// A versioned model checkpoint.
-#[derive(Serialize, Deserialize)]
 pub struct Checkpoint {
     /// Format version (see [`CHECKPOINT_VERSION`]).
     pub version: u32,
@@ -41,7 +41,7 @@ pub enum PersistError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// Malformed JSON or schema mismatch.
-    Format(serde_json::Error),
+    Format(String),
     /// The checkpoint's version is unsupported.
     Version(u32),
 }
@@ -67,10 +67,60 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-impl From<serde_json::Error> for PersistError {
-    fn from(e: serde_json::Error) -> Self {
-        PersistError::Format(e)
+impl From<urcl_json::ParseError> for PersistError {
+    fn from(e: urcl_json::ParseError) -> Self {
+        PersistError::Format(e.to_string())
     }
+}
+
+fn store_to_json(store: &ParamStore) -> Value {
+    let params: Vec<Value> = store
+        .ids()
+        .map(|id| {
+            let v = store.value(id);
+            Value::object()
+                .with("name", store.name(id))
+                .with("shape", urcl_json::usize_array(v.shape()))
+                .with("data", urcl_json::f32_array(v.data()))
+        })
+        .collect();
+    Value::object().with("params", Value::Array(params))
+}
+
+fn store_from_json(v: &Value) -> Result<ParamStore, PersistError> {
+    let bad = |msg: &str| PersistError::Format(msg.to_string());
+    let params = v
+        .get("params")
+        .and_then(Value::as_array)
+        .ok_or_else(|| bad("store.params must be an array"))?;
+    let mut store = ParamStore::new();
+    for p in params {
+        let name = p
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("param.name must be a string"))?;
+        let shape: Vec<usize> = p
+            .get("shape")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("param.shape must be an array"))?
+            .iter()
+            .map(|d| d.as_u64().map(|u| u as usize))
+            .collect::<Option<_>>()
+            .ok_or_else(|| bad("param.shape entries must be non-negative integers"))?;
+        let data: Vec<f32> = p
+            .get("data")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("param.data must be an array"))?
+            .iter()
+            .map(|d| d.as_f64().map(|f| f as f32))
+            .collect::<Option<_>>()
+            .ok_or_else(|| bad("param.data entries must be numbers"))?;
+        if data.len() != shape.iter().product::<usize>() {
+            return Err(bad("param.data length does not match shape"));
+        }
+        store.add(name, Tensor::from_vec(data, &shape));
+    }
+    Ok(store)
 }
 
 /// Writes a checkpoint to `path`.
@@ -79,24 +129,40 @@ pub fn save_checkpoint(
     description: &str,
     store: &ParamStore,
 ) -> Result<(), PersistError> {
-    let ckpt = Checkpoint {
-        version: CHECKPOINT_VERSION,
-        description: description.to_string(),
-        store: store.clone(),
-    };
-    let json = serde_json::to_string(&ckpt)?;
-    std::fs::write(path, json)?;
+    let doc = Value::object()
+        .with("version", CHECKPOINT_VERSION as f64)
+        .with("description", description)
+        .with("store", store_to_json(store));
+    std::fs::write(path, doc.to_string_compact())?;
     Ok(())
 }
 
 /// Reads a checkpoint from `path`, validating the format version.
 pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, PersistError> {
     let json = std::fs::read_to_string(path)?;
-    let ckpt: Checkpoint = serde_json::from_str(&json)?;
-    if ckpt.version != CHECKPOINT_VERSION {
-        return Err(PersistError::Version(ckpt.version));
+    let doc = Value::parse(&json)?;
+    let version = doc
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| PersistError::Format("missing version field".to_string()))?
+        as u32;
+    if version != CHECKPOINT_VERSION {
+        return Err(PersistError::Version(version));
     }
-    Ok(ckpt)
+    let description = doc
+        .get("description")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let store = store_from_json(
+        doc.get("store")
+            .ok_or_else(|| PersistError::Format("missing store field".to_string()))?,
+    )?;
+    Ok(Checkpoint {
+        version,
+        description,
+        store,
+    })
 }
 
 #[cfg(test)]
@@ -182,5 +248,21 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = load_checkpoint("/nonexistent/urcl.ckpt").unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn checkpoint_values_roundtrip_bitwise() {
+        // JSON float formatting must be shortest-roundtrip: reloaded
+        // parameters are bit-identical, not merely close.
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from_u64(3);
+        let w = store.add("w", rng.normal_tensor(&[7, 5], 0.0, 1.0));
+        let path = temp_path("bitwise");
+        save_checkpoint(&path, "", &store).unwrap();
+        let restored = load_checkpoint(&path).unwrap().store;
+        std::fs::remove_file(&path).ok();
+        for (a, b) in restored.value(w).data().iter().zip(store.value(w).data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

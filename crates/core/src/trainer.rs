@@ -19,8 +19,8 @@ use crate::replay::ReplayBuffer;
 use crate::rmir::rmir_sample;
 use crate::simsiam::StSimSiam;
 use crate::timing::Stopwatch;
-use serde::Serialize;
 use urcl_graph::SensorNetwork;
+use urcl_json::{ToJson, Value};
 use urcl_models::Backbone;
 use urcl_stdata::{stack_samples, ContinualSplit, DatasetConfig, Sample};
 use urcl_tensor::autodiff::{Session, Tape};
@@ -159,7 +159,7 @@ impl Default for TrainerConfig {
 }
 
 /// Per-period results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SetReport {
     /// Period name (`B_set`, `I1_set`, …).
     pub name: String,
@@ -177,8 +177,21 @@ pub struct SetReport {
     pub loss_curve: Vec<f32>,
 }
 
+impl ToJson for SetReport {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("name", self.name.as_str())
+            .with("mae", self.mae)
+            .with("rmse", self.rmse)
+            .with("train_seconds_per_epoch", self.train_seconds_per_epoch)
+            .with("epochs", self.epochs)
+            .with("infer_seconds_per_obs", self.infer_seconds_per_obs)
+            .with("loss_curve", urcl_json::f32_array(&self.loss_curve))
+    }
+}
+
 /// Full run results: one report per streaming period.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Backbone name.
     pub model: String,
@@ -186,6 +199,18 @@ pub struct RunReport {
     pub strategy: String,
     /// Reports in stream order (base set first).
     pub sets: Vec<SetReport>,
+}
+
+impl ToJson for RunReport {
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("model", self.model.as_str())
+            .with("strategy", self.strategy.as_str())
+            .with(
+                "sets",
+                Value::Array(self.sets.iter().map(ToJson::to_json).collect()),
+            )
+    }
 }
 
 impl RunReport {

@@ -256,10 +256,10 @@ impl Tape {
                 Op::MatMul(a, b) => {
                     let av = &nodes[*a].value;
                     let bv = &nodes[*b].value;
-                    let bt = bv.transpose(bv.ndim() - 2, bv.ndim() - 1);
-                    let at = av.transpose(av.ndim() - 2, av.ndim() - 1);
-                    let ga = g.matmul(&bt).reduce_to_shape(av.shape());
-                    let gb = at.matmul(&g).reduce_to_shape(bv.shape());
+                    // Fused-transpose gemm: dA = dC @ B^T, dB = A^T @ dC,
+                    // without materializing B^T / A^T copies.
+                    let ga = g.matmul_nt(bv).reduce_to_shape(av.shape());
+                    let gb = av.matmul_tn(&g).reduce_to_shape(bv.shape());
                     accumulate(&mut grads, *a, ga);
                     accumulate(&mut grads, *b, gb);
                 }
@@ -378,6 +378,12 @@ fn narrow_scatter(g: &Tensor, in_shape: &[usize], axis: usize, start: usize, len
 }
 
 /// Gradients of a dilated causal 1-D convolution w.r.t. input and weight.
+///
+/// `dx` is parallelized over (batch, in-channel) and `dw` over
+/// (out-channel, in-channel): each work item owns a disjoint output slice
+/// and accumulates in a fixed loop order, so results are bitwise identical
+/// at any thread count. Inner loops clamp the valid `to` range up front
+/// (no per-tap bounds tests, no zero-value shortcuts).
 fn conv1d_backward(
     g: &Tensor,
     x: &Tensor,
@@ -385,6 +391,8 @@ fn conv1d_backward(
     dilation: usize,
     pad_left: usize,
 ) -> (Tensor, Tensor) {
+    use crate::parallel::{parallel_for, SendPtr, PAR_MIN_FLOPS};
+
     let (b, cin, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     let (cout, _, k) = (w.shape()[0], w.shape()[1], w.shape()[2]);
     let t_out = g.shape()[2];
@@ -393,57 +401,88 @@ fn conv1d_backward(
     let gd = g.data();
     let xd = x.data();
     let wd = w.data();
+    // Valid to-range for tap ki: j = to + ki*dilation - pad_left in [0, t).
+    let to_range = |shift: usize| -> (usize, usize) {
+        (
+            pad_left.saturating_sub(shift),
+            t_out.min((t + pad_left).saturating_sub(shift)),
+        )
+    };
+    let flops = b * cout * cin * k * t_out;
+
     {
-        let dxd = dx.data_mut();
-        for bi in 0..b {
+        let dx_ptr = SendPtr(dx.data_mut().as_mut_ptr());
+        let dx_item = |item: usize| {
+            let bi = item / cin;
+            let ci = item % cin;
+            // SAFETY: item owns dx slice [(bi*cin+ci)*t ..][..t].
+            let dxrow = unsafe { dx_ptr.slice((bi * cin + ci) * t, t) };
             for co in 0..cout {
                 let g_base = (bi * cout + co) * t_out;
-                for ci in 0..cin {
-                    let x_base = (bi * cin + ci) * t;
-                    let w_base = (co * cin + ci) * k;
-                    for ki in 0..k {
-                        let shift = ki * dilation;
-                        let wv = wd[w_base + ki];
-                        for to in 0..t_out {
-                            let j = to + shift;
-                            if j < pad_left {
-                                continue;
-                            }
-                            let j = j - pad_left;
-                            if j < t {
-                                dxd[x_base + j] += wv * gd[g_base + to];
-                            }
-                        }
+                let w_base = (co * cin + ci) * k;
+                for ki in 0..k {
+                    let shift = ki * dilation;
+                    let wv = wd[w_base + ki];
+                    let (to_lo, to_hi) = to_range(shift);
+                    if to_lo >= to_hi {
+                        continue;
+                    }
+                    let src = &gd[g_base + to_lo..g_base + to_hi];
+                    let dst = &mut dxrow[to_lo + shift - pad_left..][..to_hi - to_lo];
+                    for (o, &gv) in dst.iter_mut().zip(src) {
+                        *o += wv * gv;
                     }
                 }
             }
+        };
+        if flops < PAR_MIN_FLOPS {
+            for item in 0..b * cin {
+                dx_item(item);
+            }
+        } else {
+            parallel_for(b * cin, 1, |r| {
+                for item in r {
+                    dx_item(item);
+                }
+            });
         }
     }
     {
-        let dwd = dw.data_mut();
-        for bi in 0..b {
-            for co in 0..cout {
+        let dw_ptr = SendPtr(dw.data_mut().as_mut_ptr());
+        let dw_item = |item: usize| {
+            let co = item / cin;
+            let ci = item % cin;
+            // SAFETY: item owns dw slice [(co*cin+ci)*k ..][..k].
+            let dwrow = unsafe { dw_ptr.slice((co * cin + ci) * k, k) };
+            for bi in 0..b {
                 let g_base = (bi * cout + co) * t_out;
-                for ci in 0..cin {
-                    let x_base = (bi * cin + ci) * t;
-                    let w_base = (co * cin + ci) * k;
-                    for ki in 0..k {
-                        let shift = ki * dilation;
-                        let mut acc = 0.0f32;
-                        for to in 0..t_out {
-                            let j = to + shift;
-                            if j < pad_left {
-                                continue;
-                            }
-                            let j = j - pad_left;
-                            if j < t {
-                                acc += gd[g_base + to] * xd[x_base + j];
-                            }
-                        }
-                        dwd[w_base + ki] += acc;
+                let x_base = (bi * cin + ci) * t;
+                for (ki, slot) in dwrow.iter_mut().enumerate() {
+                    let shift = ki * dilation;
+                    let (to_lo, to_hi) = to_range(shift);
+                    if to_lo >= to_hi {
+                        continue;
                     }
+                    let gs = &gd[g_base + to_lo..g_base + to_hi];
+                    let xs = &xd[x_base + to_lo + shift - pad_left..][..to_hi - to_lo];
+                    let mut acc = 0.0f32;
+                    for (&gv, &xv) in gs.iter().zip(xs) {
+                        acc += gv * xv;
+                    }
+                    *slot += acc;
                 }
             }
+        };
+        if flops < PAR_MIN_FLOPS {
+            for item in 0..cout * cin {
+                dw_item(item);
+            }
+        } else {
+            parallel_for(cout * cin, 1, |r| {
+                for item in r {
+                    dw_item(item);
+                }
+            });
         }
     }
     (dx, dw)

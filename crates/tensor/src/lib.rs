@@ -6,12 +6,14 @@
 //! gradient computed by the spatio-temporal models in `urcl-models` and by
 //! the continuous-learning framework in `urcl-core` flows through this crate.
 //!
-//! The design favours clarity and debuggability over raw throughput:
-//! tensors are contiguous row-major `Vec<f32>` buffers, and the autodiff
+//! Tensors are contiguous row-major `Vec<f32>` buffers, and the autodiff
 //! tape records an explicit [`Op`](autodiff::Op) per node so every backward
-//! rule is a readable `match` arm. At the model sizes used by the paper's
-//! evaluation protocol (tens of sensor nodes, 12-step windows) this is more
-//! than fast enough on a laptop CPU.
+//! rule is a readable `match` arm. The heavy kernels run on a
+//! dependency-free parallel runtime ([`parallel`]) and a cache-blocked
+//! GEMM ([`gemm`]); thread count comes from `URCL_THREADS` (default:
+//! available parallelism), and results are bitwise reproducible at any
+//! thread count because parallel splits only ever partition output
+//! regions, never reduction axes.
 //!
 //! ## Quick tour
 //!
@@ -32,8 +34,10 @@
 //! step, and [`optim`] for SGD/Adam updates.
 
 pub mod autodiff;
+pub mod gemm;
 pub mod gradcheck;
 pub mod optim;
+pub mod parallel;
 pub mod params;
 pub mod rng;
 pub mod shape;
@@ -41,6 +45,7 @@ pub mod tensor;
 
 pub use autodiff::{Session, Tape, Var};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use parallel::{num_threads, parallel_for, set_threads};
 pub use params::{ParamId, ParamStore};
 pub use rng::Rng;
 pub use tensor::Tensor;

@@ -1,0 +1,313 @@
+//! A dependency-free parallel compute runtime: a persistent thread pool
+//! built on `std::thread` + `mpsc` channels, exposing [`parallel_for`]
+//! over index chunks.
+//!
+//! ## Design
+//!
+//! * **Persistent workers.** Worker threads are spawned once (lazily, on
+//!   first use) and live for the process; each worker owns its own task
+//!   channel. There is no per-call thread spawn cost.
+//! * **Caller participates.** A `parallel_for` over `c` chunks sends
+//!   `c − 1` chunks to workers and runs the first chunk on the calling
+//!   thread, so `URCL_THREADS=1` never touches a channel.
+//! * **Deterministic chunking.** Chunk boundaries are a pure function of
+//!   `(n, grain, active threads)` and chunk *i* always goes to worker
+//!   *i − 1*. Kernels built on this runtime parallelize only over disjoint
+//!   output regions and never split a reduction axis, so results are
+//!   bitwise reproducible run-to-run at a fixed thread count (and, for the
+//!   kernels in this crate, across thread counts too).
+//! * **Scoped borrows.** Tasks borrow the caller's closure through a raw
+//!   pointer whose lifetime is erased; `parallel_for` blocks until every
+//!   chunk acknowledges completion before returning, so the borrow never
+//!   outlives the call. Worker panics are caught, forwarded, and re-raised
+//!   on the caller.
+//!
+//! The active thread count defaults to the `URCL_THREADS` environment
+//! variable, falling back to [`std::thread::available_parallelism`]. It
+//! can be changed at runtime with [`set_threads`] (the bench binary uses
+//! this to measure 1-thread vs N-thread scaling in one process).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Mutex, OnceLock};
+
+/// Upper bound on pool size; a safety valve, far above sane CPU counts
+/// for this workload.
+pub const MAX_THREADS: usize = 256;
+
+/// Work item: an index range plus an erased borrow of the caller's
+/// closure. The completion channel reports panics back to the caller.
+struct Task {
+    func: *const (dyn Fn(Range<usize>) + Sync),
+    range: Range<usize>,
+    done: Sender<Result<(), String>>,
+}
+
+// SAFETY: the closure behind `func` is `Sync` (shared access from many
+// threads is allowed) and `parallel_for` keeps it alive until every task
+// has acknowledged completion.
+unsafe impl Send for Task {}
+
+struct Pool {
+    /// One task channel per spawned worker.
+    workers: Mutex<Vec<Sender<Task>>>,
+    /// Number of chunks `parallel_for` may use (workers + caller).
+    active: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set inside pool workers so nested `parallel_for` calls degrade to
+    /// inline execution instead of deadlocking on their own pool.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    match std::env::var("URCL_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("URCL_THREADS must be a positive integer, got {v:?}")),
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+    .min(MAX_THREADS)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        workers: Mutex::new(Vec::new()),
+        active: AtomicUsize::new(default_threads()),
+    })
+}
+
+fn spawn_worker(index: usize) -> Sender<Task> {
+    let (tx, rx) = channel::<Task>();
+    std::thread::Builder::new()
+        .name(format!("urcl-worker-{index}"))
+        .spawn(move || {
+            IN_WORKER.with(|f| f.set(true));
+            while let Ok(task) = rx.recv() {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // SAFETY: see `Task`; the caller blocks until we ack.
+                    (unsafe { &*task.func })(task.range.clone())
+                }))
+                .map_err(|p| panic_message(&p));
+                // The caller may itself have panicked and dropped the
+                // receiver; nothing useful to do with the error then.
+                let _ = task.done.send(result);
+            }
+        })
+        .expect("failed to spawn urcl worker thread");
+    tx
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker task panicked".to_string()
+    }
+}
+
+/// The number of threads `parallel_for` currently targets (workers plus
+/// the calling thread).
+pub fn num_threads() -> usize {
+    pool().active.load(Ordering::Relaxed)
+}
+
+/// Sets the target thread count (clamped to `1..=MAX_THREADS`), growing
+/// the worker pool if needed. Returns the previous value. Intended for
+/// benches and tests; normal runs configure `URCL_THREADS` instead.
+pub fn set_threads(n: usize) -> usize {
+    let n = n.clamp(1, MAX_THREADS);
+    pool().active.swap(n, Ordering::Relaxed)
+}
+
+/// Splits `0..n` into deterministic contiguous chunks and runs `f` on
+/// each chunk, spread over the pool. Guarantees:
+///
+/// * every index is covered exactly once, chunks are contiguous and
+///   ascending;
+/// * at most [`num_threads`] chunks, each at least `grain` long (except
+///   possibly the last);
+/// * `f` has returned on every chunk when `parallel_for` returns.
+///
+/// With one active thread (or `n <= grain`) the call is inline and
+/// allocation-free.
+pub fn parallel_for<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let grain = grain.max(1);
+    let threads = num_threads();
+    let max_chunks = n.div_ceil(grain);
+    let chunks = threads.min(max_chunks).max(1);
+    if chunks == 1 || IN_WORKER.with(|flag| flag.get()) {
+        f(0..n);
+        return;
+    }
+
+    // Even split: the first `rem` chunks get one extra index.
+    let base = n / chunks;
+    let rem = n % chunks;
+    let bounds = |i: usize| -> usize { i * base + i.min(rem) };
+
+    let erased: &(dyn Fn(Range<usize>) + Sync) = &f;
+    // SAFETY: we block on `done` for every dispatched task below, so the
+    // erased borrow cannot outlive `f`.
+    let erased: *const (dyn Fn(Range<usize>) + Sync) =
+        unsafe { std::mem::transmute(erased) };
+
+    let (done_tx, done_rx) = channel();
+    {
+        let mut workers = pool().workers.lock().unwrap();
+        while workers.len() < chunks - 1 {
+            let idx = workers.len();
+            workers.push(spawn_worker(idx));
+        }
+        for i in 1..chunks {
+            workers[i - 1]
+                .send(Task {
+                    func: erased,
+                    range: bounds(i)..bounds(i + 1),
+                    done: done_tx.clone(),
+                })
+                .expect("urcl worker thread died");
+        }
+    }
+    drop(done_tx);
+
+    // The caller runs chunk 0 while workers run the rest.
+    f(bounds(0)..bounds(1));
+
+    let mut panic: Option<String> = None;
+    for _ in 1..chunks {
+        match done_rx.recv() {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => panic = Some(msg),
+            Err(_) => panic = Some("worker task dropped without completing".into()),
+        }
+    }
+    if let Some(msg) = panic {
+        panic!("parallel_for worker panicked: {msg}");
+    }
+}
+
+/// A `Send`/`Sync` raw-pointer wrapper for writing disjoint regions of one
+/// output buffer from several chunks. The *caller* must guarantee chunks
+/// touch non-overlapping regions — every kernel in this crate parallelizes
+/// over disjoint output rows/batches, which satisfies this by construction.
+#[derive(Clone, Copy)]
+pub struct SendPtr(pub *mut f32);
+
+// SAFETY: see type docs; disjointness is the caller's contract.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// A mutable subslice starting at `offset` with length `len`.
+    ///
+    /// # Safety
+    /// The region `[offset, offset + len)` must be in bounds and not
+    /// concurrently accessed by any other chunk.
+    #[inline]
+    pub unsafe fn slice(&self, offset: usize, len: usize) -> &'static mut [f32] {
+        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+    }
+}
+
+/// Elementwise work below this many elements is not worth dispatching.
+pub const PAR_MIN_ELEMS: usize = 16 * 1024;
+
+/// Matmul/conv work below this many scalar multiply-adds runs serially.
+pub const PAR_MIN_FLOPS: usize = 64 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let n = 1003;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let prev = set_threads(4);
+        parallel_for(n, 1, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        set_threads(prev);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let prev = set_threads(1);
+        let tid = std::thread::current().id();
+        parallel_for(100, 1, |_r| {
+            assert_eq!(std::thread::current().id(), tid);
+        });
+        set_threads(prev);
+    }
+
+    #[test]
+    fn grain_bounds_chunk_count() {
+        let prev = set_threads(8);
+        let count = AtomicUsize::new(0);
+        parallel_for(10, 5, |_r| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        set_threads(prev);
+        assert!(count.load(Ordering::Relaxed) <= 2);
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        parallel_for(0, 1, |_r| panic!("must not run"));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let prev = set_threads(4);
+        let caught = std::panic::catch_unwind(|| {
+            parallel_for(100, 1, |r| {
+                if r.start > 0 {
+                    panic!("boom in chunk");
+                }
+            });
+        });
+        set_threads(prev);
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn nested_calls_degrade_inline() {
+        let prev = set_threads(4);
+        let total = AtomicUsize::new(0);
+        parallel_for(8, 1, |outer| {
+            for _ in outer {
+                parallel_for(10, 1, |inner| {
+                    total.fetch_add(inner.len(), Ordering::Relaxed);
+                });
+            }
+        });
+        set_threads(prev);
+        assert_eq!(total.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn set_threads_clamps() {
+        let prev = set_threads(0);
+        assert_eq!(num_threads(), 1);
+        set_threads(prev);
+    }
+}

@@ -10,13 +10,12 @@
 
 use crate::autodiff::Gradients;
 use crate::tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Opaque handle to one parameter inside a [`ParamStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(usize);
 
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 struct Param {
     name: String,
     value: Tensor,
@@ -24,7 +23,7 @@ struct Param {
 }
 
 /// Named collection of trainable tensors plus gradient buffers.
-#[derive(Clone, Default, Serialize, Deserialize)]
+#[derive(Clone, Default)]
 pub struct ParamStore {
     params: Vec<Param>,
 }

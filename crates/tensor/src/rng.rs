@@ -1,30 +1,63 @@
 //! Seedable random number generation for reproducible experiments.
 //!
-//! Wraps `rand::StdRng` and adds the distributions the paper needs that
-//! `rand` does not ship: Gaussian (Box–Muller), Gamma (Marsaglia–Tsang) and
+//! Fully self-contained (no external crates): the core generator is
+//! xoshiro256++ seeded through SplitMix64, layered with the distributions
+//! the paper needs — Gaussian (Box–Muller), Gamma (Marsaglia–Tsang) and
 //! Beta (ratio of Gammas) — the latter drives the STMixup coefficient
 //! λ ~ Beta(α, α) of Eq. 4.
 
 use crate::tensor::Tensor;
-use rand::{Rng as _, RngCore, SeedableRng};
 
 /// A seedable RNG with the distribution helpers used across the workspace.
+///
+/// The generator is xoshiro256++ (Blackman & Vigna): 256 bits of state,
+/// period 2^256 − 1, and passes BigCrush — more than enough statistical
+/// quality for replay sampling, initialisation and augmentation noise.
 pub struct Rng {
-    inner: rand::rngs::StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Rng {
     /// Creates an RNG from a 64-bit seed. The same seed always produces the
     /// same stream, which keeps every experiment in the repo reproducible.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
         Self {
-            inner: rand::rngs::StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Raw 64-bit output (used to derive child seeds).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3.rotate_left(45)];
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with full 24-bit mantissa resolution.
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -35,12 +68,9 @@ impl Rng {
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
-    }
-
-    /// Raw 64-bit output (used to derive child seeds).
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        // Lemire's multiply-shift map of a 64-bit draw onto [0, n). The
+        // bias is at most n / 2^64 — unmeasurable at our sample counts.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli trial with success probability `p`.
@@ -159,11 +189,31 @@ mod tests {
     }
 
     #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(8);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
     fn uniform_in_unit_interval() {
         let mut r = Rng::seed_from_u64(1);
         for _ in 0..1000 {
             let u = r.uniform();
             assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_covers_range_uniformly() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[r.below(8)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "bucket {i} count {c}");
         }
     }
 

@@ -4,17 +4,29 @@
 //! [`crate::autodiff`] calls these kernels from both forward and backward
 //! passes. All tensors are contiguous row-major `f32` buffers.
 
+use crate::gemm::gemm_strided;
+use crate::parallel::{parallel_for, SendPtr, PAR_MIN_ELEMS, PAR_MIN_FLOPS};
 use crate::shape::{
     broadcast_offset, broadcast_reduce_axes, broadcast_shape, broadcast_strides, numel, strides,
 };
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense, contiguous, row-major `f32` tensor.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Vec<usize>,
+}
+
+/// Which operands of a matrix product are logically transposed.
+#[derive(Clone, Copy, Debug)]
+enum MatKind {
+    /// `A @ B`
+    NN,
+    /// `A @ B^T`
+    NT,
+    /// `A^T @ B`
+    TN,
 }
 
 impl fmt::Debug for Tensor {
@@ -194,23 +206,59 @@ impl Tensor {
 
     // ----------------------------------------------------------- elementwise
 
-    /// Applies `f` to every element, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+    /// Applies `f` to every element, producing a new tensor. Large tensors
+    /// are split across the thread pool (each chunk writes a disjoint
+    /// output range, so the result is identical at any thread count).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        let n = self.data.len();
+        if n < PAR_MIN_ELEMS {
+            return Tensor {
+                data: self.data.iter().map(|&x| f(x)).collect(),
+                shape: self.shape.clone(),
+            };
+        }
+        let mut data = vec![0.0f32; n];
+        let out = SendPtr(data.as_mut_ptr());
+        parallel_for(n, PAR_MIN_ELEMS / 4, |r| {
+            // SAFETY: chunks are disjoint subranges of 0..n.
+            let dst = unsafe { out.slice(r.start, r.len()) };
+            for (slot, &x) in dst.iter_mut().zip(&self.data[r]) {
+                *slot = f(x);
+            }
+        });
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
             shape: self.shape.clone(),
         }
     }
 
-    /// Elementwise binary op with NumPy-style broadcasting.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
+    /// Elementwise binary op with NumPy-style broadcasting. Parallelized
+    /// like [`Self::map`] above the size threshold.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Self {
         if self.shape == other.shape {
-            let data = self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let n = self.data.len();
+            if n < PAR_MIN_ELEMS {
+                let data = self
+                    .data
+                    .iter()
+                    .zip(&other.data)
+                    .map(|(&a, &b)| f(a, b))
+                    .collect();
+                return Tensor {
+                    data,
+                    shape: self.shape.clone(),
+                };
+            }
+            let mut data = vec![0.0f32; n];
+            let out = SendPtr(data.as_mut_ptr());
+            parallel_for(n, PAR_MIN_ELEMS / 4, |r| {
+                // SAFETY: chunks are disjoint subranges of 0..n.
+                let dst = unsafe { out.slice(r.start, r.len()) };
+                for ((slot, &a), &b) in dst.iter_mut().zip(&self.data[r.clone()]).zip(&other.data[r])
+                {
+                    *slot = f(a, b);
+                }
+            });
             return Tensor {
                 data,
                 shape: self.shape.clone(),
@@ -225,12 +273,17 @@ impl Tensor {
         let sa = broadcast_strides(&self.shape, out_shape.len());
         let sb = broadcast_strides(&other.shape, out_shape.len());
         let n = numel(&out_shape);
-        let mut data = Vec::with_capacity(n);
-        for linear in 0..n {
-            let oa = broadcast_offset(linear, &out_shape, &sa);
-            let ob = broadcast_offset(linear, &out_shape, &sb);
-            data.push(f(self.data[oa], other.data[ob]));
-        }
+        let mut data = vec![0.0f32; n];
+        let out = SendPtr(data.as_mut_ptr());
+        parallel_for(n, PAR_MIN_ELEMS / 4, |r| {
+            // SAFETY: chunks are disjoint subranges of 0..n.
+            let dst = unsafe { out.slice(r.start, r.len()) };
+            for (slot, linear) in dst.iter_mut().zip(r) {
+                let oa = broadcast_offset(linear, &out_shape, &sa);
+                let ob = broadcast_offset(linear, &out_shape, &sb);
+                *slot = f(self.data[oa], other.data[ob]);
+            }
+        });
         Tensor {
             data,
             shape: out_shape,
@@ -270,9 +323,21 @@ impl Tensor {
     /// In-place accumulation `self += other` (shapes must match exactly).
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
+        let n = self.data.len();
+        if n < PAR_MIN_ELEMS {
+            for (a, b) in self.data.iter_mut().zip(&other.data) {
+                *a += b;
+            }
+            return;
         }
+        let dst = SendPtr(self.data.as_mut_ptr());
+        parallel_for(n, PAR_MIN_ELEMS / 4, |r| {
+            // SAFETY: chunks are disjoint subranges of 0..n.
+            let d = unsafe { dst.slice(r.start, r.len()) };
+            for (a, b) in d.iter_mut().zip(&other.data[r]) {
+                *a += b;
+            }
+        });
     }
 
     // ------------------------------------------------------------ reductions
@@ -352,7 +417,125 @@ impl Tensor {
     /// The last two axes of each operand are the matrix dimensions
     /// (`[.., m, k] @ [.., k, n] -> [.., m, n]`); leading axes broadcast.
     /// 1-D operands are not supported — reshape explicitly instead.
+    ///
+    /// Runs on the tiled GEMM kernel ([`crate::gemm`]), parallelized over
+    /// batch entries and output-row strips.
     pub fn matmul(&self, other: &Tensor) -> Self {
+        self.batched_gemm(other, MatKind::NN)
+    }
+
+    /// Fused `A @ B^T`: `[.., m, k] @ [.., n, k] -> [.., m, n]` without
+    /// materializing the transpose. Backward passes use this for
+    /// `dA = dC @ B^T`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Self {
+        self.batched_gemm(other, MatKind::NT)
+    }
+
+    /// Fused `A^T @ B`: `[.., k, m] @ [.., k, n] -> [.., m, n]` without
+    /// materializing the transpose. Backward passes use this for
+    /// `dB = A^T @ dC`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Self {
+        self.batched_gemm(other, MatKind::TN)
+    }
+
+    fn batched_gemm(&self, other: &Tensor, kind: MatKind) -> Self {
+        assert!(
+            self.ndim() >= 2 && other.ndim() >= 2,
+            "matmul requires >=2-D operands, got {:?} @ {:?}",
+            self.shape,
+            other.shape
+        );
+        let (a0, a1) = (self.shape[self.ndim() - 2], self.shape[self.ndim() - 1]);
+        let (b0, b1) = (other.shape[other.ndim() - 2], other.shape[other.ndim() - 1]);
+        // Logical dims (m, k) x (k, n) plus element strides per operand.
+        let (m, ka, a_rs, a_cs) = match kind {
+            MatKind::NN | MatKind::NT => (a0, a1, a1, 1),
+            MatKind::TN => (a1, a0, 1, a1),
+        };
+        let (kb, n, b_rs, b_cs) = match kind {
+            MatKind::NN | MatKind::TN => (b0, b1, b1, 1),
+            MatKind::NT => (b1, b0, 1, b1),
+        };
+        assert_eq!(
+            ka, kb,
+            "matmul inner dim mismatch ({kind:?}): {:?} @ {:?}",
+            self.shape, other.shape
+        );
+        let batch_a = &self.shape[..self.ndim() - 2];
+        let batch_b = &other.shape[..other.ndim() - 2];
+        let batch = broadcast_shape(batch_a, batch_b).unwrap_or_else(|| {
+            panic!(
+                "matmul batch dims incompatible: {:?} @ {:?}",
+                self.shape, other.shape
+            )
+        });
+        let nbatch = numel(&batch);
+        let sa = broadcast_strides(batch_a, batch.len());
+        let sb = broadcast_strides(batch_b, batch.len());
+        let a_mat = a0 * a1;
+        let b_mat = b0 * b1;
+        let mut out_shape = batch.clone();
+        out_shape.push(m);
+        out_shape.push(n);
+        let mut out = vec![0.0f32; nbatch * m * n];
+        if nbatch == 0 || m == 0 || n == 0 {
+            return Tensor {
+                data: out,
+                shape: out_shape,
+            };
+        }
+
+        // Work items are (batch entry) x (strip of output rows). Each item
+        // computes an independent gemm on disjoint output rows, so the
+        // split affects neither correctness nor the per-element f32
+        // accumulation order: results are bitwise identical at any thread
+        // count.
+        let strip = crate::gemm::MC;
+        let strips = m.div_ceil(strip);
+        let items = nbatch * strips;
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let run_item = |item: usize| {
+            let bi = item / strips;
+            let r0 = (item % strips) * strip;
+            let rows = strip.min(m - r0);
+            let a_off = broadcast_offset(bi, &batch, &sa) * a_mat + r0 * a_rs;
+            let b_off = broadcast_offset(bi, &batch, &sb) * b_mat;
+            // SAFETY: each item owns rows [r0, r0+rows) of batch entry bi.
+            let o = unsafe { out_ptr.slice(bi * m * n + r0 * n, rows * n) };
+            gemm_strided(
+                rows,
+                ka,
+                n,
+                &self.data[a_off..],
+                a_rs,
+                a_cs,
+                &other.data[b_off..],
+                b_rs,
+                b_cs,
+                o,
+            );
+        };
+        if nbatch * m * n * ka < PAR_MIN_FLOPS {
+            for item in 0..items {
+                run_item(item);
+            }
+        } else {
+            parallel_for(items, 1, |r| {
+                for item in r {
+                    run_item(item);
+                }
+            });
+        }
+        Tensor {
+            data: out,
+            shape: out_shape,
+        }
+    }
+
+    /// Naive serial batched matmul kept as the correctness reference for
+    /// the tiled/parallel kernel (branch-free: no zero-skip shortcut, so
+    /// FLOP count does not depend on input sparsity).
+    pub fn matmul_reference(&self, other: &Tensor) -> Self {
         assert!(
             self.ndim() >= 2 && other.ndim() >= 2,
             "matmul requires >=2-D operands, got {:?} @ {:?}",
@@ -391,9 +574,6 @@ impl Tensor {
                 let arow = &a[i * ka..(i + 1) * ka];
                 let orow = &mut o[i * n..(i + 1) * n];
                 for (k, &aik) in arow.iter().enumerate() {
-                    if aik == 0.0 {
-                        continue;
-                    }
                     let brow = &b[k * n..(k + 1) * n];
                     for (j, &bkj) in brow.iter().enumerate() {
                         orow[j] += aik * bkj;
@@ -525,6 +705,80 @@ impl Tensor {
         );
         let t_out = t + pad_left - span;
         let mut out = vec![0.0f32; b * cout * t_out];
+        if out.is_empty() || cin == 0 {
+            return Tensor {
+                data: out,
+                shape: vec![b, cout, t_out],
+            };
+        }
+
+        // One work item per (batch, out-channel) pair — each owns a
+        // disjoint `t_out` slice of the output, and the (ci, ki)
+        // accumulation order inside an item is fixed, so results are
+        // bitwise identical at any thread count. Inner loops are
+        // branch-free: padding is handled by clamping the `to` range up
+        // front instead of testing bounds per tap.
+        let items = b * cout;
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let run_item = |item: usize| {
+            let bi = item / cout;
+            let co = item % cout;
+            // SAFETY: item owns output slice [(bi*cout+co)*t_out ..][..t_out].
+            let orow = unsafe { out_ptr.slice(item * t_out, t_out) };
+            for ci in 0..cin {
+                let xrow = &self.data[(bi * cin + ci) * t..][..t];
+                let wrow = &weight.data[(co * cin + ci) * k..][..k];
+                for (ki, &w) in wrow.iter().enumerate() {
+                    // input index j = to + ki*dilation - pad_left must lie
+                    // in [0, t): clamp the to-range once.
+                    let shift = ki * dilation;
+                    let to_lo = pad_left.saturating_sub(shift);
+                    let to_hi = t_out.min((t + pad_left).saturating_sub(shift));
+                    if to_lo >= to_hi {
+                        continue;
+                    }
+                    let src = &xrow[to_lo + shift - pad_left..][..to_hi - to_lo];
+                    let dst = &mut orow[to_lo..to_hi];
+                    for (o, &x) in dst.iter_mut().zip(src) {
+                        *o += w * x;
+                    }
+                }
+            }
+        };
+        let flops = b * cout * cin * k * t_out;
+        if flops < PAR_MIN_FLOPS {
+            for item in 0..items {
+                run_item(item);
+            }
+        } else {
+            parallel_for(items, 1, |r| {
+                for item in r {
+                    run_item(item);
+                }
+            });
+        }
+        Tensor {
+            data: out,
+            shape: vec![b, cout, t_out],
+        }
+    }
+
+    /// Naive serial conv1d kept as the correctness reference for the
+    /// parallel kernel (branch-free on values: no zero-weight shortcut).
+    pub fn conv1d_reference(&self, weight: &Tensor, dilation: usize, pad_left: usize) -> Self {
+        assert_eq!(self.ndim(), 3, "conv1d input must be [B, C_in, T]");
+        assert_eq!(weight.ndim(), 3, "conv1d weight must be [C_out, C_in, K]");
+        let (b, cin, t) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (cout, wcin, k) = (weight.shape[0], weight.shape[1], weight.shape[2]);
+        assert_eq!(cin, wcin, "conv1d channel mismatch");
+        let span = (k - 1) * dilation;
+        assert!(
+            t + pad_left > span,
+            "conv1d receptive field {span} exceeds padded length {}",
+            t + pad_left
+        );
+        let t_out = t + pad_left - span;
+        let mut out = vec![0.0f32; b * cout * t_out];
         for bi in 0..b {
             for co in 0..cout {
                 let o_base = (bi * cout + co) * t_out;
@@ -533,9 +787,6 @@ impl Tensor {
                     let w_base = (co * cin + ci) * k;
                     for ki in 0..k {
                         let w = weight.data[w_base + ki];
-                        if w == 0.0 {
-                            continue;
-                        }
                         // input index = t_out_index + ki*dilation - pad_left
                         let shift = ki * dilation;
                         for to in 0..t_out {
@@ -849,5 +1100,68 @@ mod tests {
         let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[3, 3]);
         let y = Tensor::eye(3).matmul(&x);
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|v| v as f32 * 0.5).collect(), &[4, 3]);
+        let fused = a.matmul_nt(&b);
+        let explicit = a.matmul(&b.transpose(0, 1));
+        assert_eq!(fused.shape(), &[2, 4]);
+        assert_eq!(fused, explicit);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[3, 2]);
+        let b = Tensor::from_vec((0..12).map(|v| v as f32 * 0.5).collect(), &[3, 4]);
+        let fused = a.matmul_tn(&b);
+        let explicit = a.transpose(0, 1).matmul(&b);
+        assert_eq!(fused.shape(), &[2, 4]);
+        assert_eq!(fused, explicit);
+    }
+
+    #[test]
+    fn matmul_nt_batched_broadcast() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 2, 2]);
+        let b = Tensor::from_vec((0..4).map(|v| v as f32).collect(), &[1, 2, 2]);
+        let fused = a.matmul_nt(&b);
+        let explicit = a.matmul(&b.transpose(1, 2));
+        assert_eq!(fused, explicit);
+    }
+
+    #[test]
+    fn matmul_empty_batch_dim() {
+        let a = Tensor::zeros(&[0, 2, 3]);
+        let b = Tensor::zeros(&[0, 3, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[0, 2, 4]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let a = Tensor::from_vec((0..30).map(|v| (v as f32).sin()).collect(), &[5, 6]);
+        let b = Tensor::from_vec((0..42).map(|v| (v as f32).cos()).collect(), &[6, 7]);
+        let fast = a.matmul(&b);
+        let slow = a.matmul_reference(&b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn conv1d_matches_reference() {
+        let x = Tensor::from_vec((0..30).map(|v| (v as f32).sin()).collect(), &[2, 3, 5]);
+        let w = Tensor::from_vec((0..24).map(|v| (v as f32).cos()).collect(), &[4, 3, 2]);
+        for &(dil, pad) in &[(1, 0), (1, 1), (2, 2), (2, 0)] {
+            let fast = x.conv1d(&w, dil, pad);
+            let slow = x.conv1d_reference(&w, dil, pad);
+            assert_eq!(fast.shape(), slow.shape());
+            for (a, b) in fast.data().iter().zip(slow.data()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b} at dil={dil} pad={pad}");
+            }
+        }
     }
 }

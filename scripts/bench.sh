@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Builds the release workspace and runs the tensor-ops micro-benchmark.
+# The binary itself sweeps 1 and 4 threads in one process (so determinism
+# across thread counts is asserted on identical inputs) and writes
+# BENCH_tensor_ops.json — GFLOP/s and speedup fields per case — at the
+# repository root. Pass --quick for a fast smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release --offline -p urcl-bench
+exec ./target/release/bench_tensor_ops "$@"
