@@ -3,15 +3,21 @@
 //! forward/backward and diffusion-support construction — the per-step
 //! costs behind Fig. 7. Hand-rolled timing (best-of-repeats), no
 //! external harness; writes `results/bench_framework.json`.
+//!
+//! With `--trace out.json` it instead measures the disabled-tracing
+//! overhead on a 256³ matmul, runs a tiny fixed-seed continual pipeline
+//! with tracing enabled, and writes the `urcl-trace-v1` document
+//! (per-stage spans, per-period MAE/RMSE/MAPE, pool stats) to the given
+//! path — the schema `scripts/ci.sh` and the golden-trace test validate.
 
 use std::hint::black_box;
 use std::time::Instant;
-use urcl_bench::write_results;
-use urcl_core::{rmir_sample, st_mixup, Augmentation, ReplayBuffer};
+use urcl_bench::{run_deep_model, write_results, ExperimentContext, ModelKind};
+use urcl_core::{rmir_sample, st_mixup, Augmentation, ReplayBuffer, TrainerConfig};
 use urcl_graph::{random_geometric, SensorNetwork, SupportSet};
 use urcl_json::{ToJson, Value};
 use urcl_models::{Backbone, GraphWaveNet, GwnConfig};
-use urcl_stdata::{stack_samples, Batch, Sample};
+use urcl_stdata::{stack_samples, Batch, DatasetConfig, Sample};
 use urcl_tensor::autodiff::{Session, Tape};
 use urcl_tensor::{ParamStore, Rng};
 
@@ -84,8 +90,86 @@ fn bench(name: &str, min_seconds: f64, mut f: impl FnMut()) -> Timed {
     }
 }
 
+/// Best of `reps` timed runs, in seconds (after one warm-up call).
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// `--trace` mode: overhead probe + traced tiny pipeline + JSON export.
+fn run_traced(path: &str, quick: bool) {
+    // Disabled-tracing overhead on the 256³ matmul bench: every kernel
+    // call in a traced build pays at most one span guard + one counter,
+    // so this bounds the tax on real workloads. Budget: < 5%.
+    urcl_trace::disable();
+    let mut rng = Rng::seed_from_u64(17);
+    let a = rng.uniform_tensor(&[256, 256], -1.0, 1.0);
+    let b = rng.uniform_tensor(&[256, 256], -1.0, 1.0);
+    let reps = if quick { 10 } else { 40 };
+    let bare = best_secs(reps, || {
+        black_box(a.matmul(&b));
+    });
+    let instrumented = best_secs(reps, || {
+        let _sp = urcl_trace::span("overhead_probe");
+        urcl_trace::counter_inc("overhead.iters");
+        black_box(a.matmul(&b));
+    });
+    let ratio = instrumented / bare;
+    println!(
+        "disabled-tracing overhead (256^3 matmul): bare {:.3} ms, \
+         instrumented {:.3} ms, ratio {ratio:.4} (budget 1.05)",
+        bare * 1e3,
+        instrumented * 1e3,
+    );
+
+    // Tiny fixed-seed continual run with tracing on.
+    urcl_trace::reset();
+    urcl_trace::enable();
+    let ctx = ExperimentContext::new(DatasetConfig::metr_la().tiny());
+    let cfg = TrainerConfig {
+        epochs_base: 2,
+        epochs_incremental: 1,
+        window_stride: 8,
+        ..TrainerConfig::default()
+    };
+    let report = run_deep_model(ModelKind::GraphWaveNet, &ctx, cfg, 7);
+    urcl_trace::disable();
+
+    let mut doc = urcl_trace::snapshot();
+    doc.set(
+        "overhead_probe",
+        Value::object()
+            .with("bare_micros", bare * 1e6)
+            .with("instrumented_micros", instrumented * 1e6)
+            .with("ratio", ratio),
+    );
+    doc.set("run", report.to_json());
+    std::fs::write(path, doc.to_string_pretty()).expect("write trace file");
+    println!(
+        "[trace -> {path}]  incremental MAE {:.3}",
+        report.incremental_mae()
+    );
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        match args.get(i + 1) {
+            Some(path) => run_traced(path, quick),
+            None => {
+                eprintln!("--trace requires an output path");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     let min_secs = if quick { 0.02 } else { 0.2 };
     let mut results: Vec<Timed> = Vec::new();
 

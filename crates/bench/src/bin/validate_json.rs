@@ -1,0 +1,78 @@
+//! Validates JSON artifacts produced by the bench binaries: each file must
+//! parse, survive a compact-print round-trip unchanged, and — when it
+//! declares the `urcl-trace-v1` schema — carry the full trace layout.
+//! `scripts/ci.sh` runs this over `BENCH_*.json` and `results/*.json`.
+//!
+//! Usage: `validate_json FILE.json [FILE.json ...]`
+//! Exits non-zero if any file fails.
+
+use urcl_json::Value;
+
+fn validate(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let value = Value::parse(&text).map_err(|e| format!("parse error: {e:?}"))?;
+    let reprinted = value.to_string_compact();
+    let reparsed =
+        Value::parse(&reprinted).map_err(|e| format!("round-trip parse error: {e:?}"))?;
+    if reparsed != value {
+        return Err("round-trip through compact printer changed the document".into());
+    }
+    if value.get("schema").and_then(Value::as_str) == Some(urcl_trace::SCHEMA) {
+        validate_trace(&value)?;
+    }
+    Ok(())
+}
+
+/// Structural checks for a `urcl-trace-v1` document: all top-level
+/// sections present with the right JSON types, and every span entry
+/// carrying count/total/mean.
+fn validate_trace(doc: &Value) -> Result<(), String> {
+    for key in ["spans", "counters", "gauges", "histograms", "pool"] {
+        match doc.get(key) {
+            Some(Value::Object(_)) => {}
+            Some(_) => return Err(format!("trace key {key:?} is not an object")),
+            None => return Err(format!("trace key {key:?} missing")),
+        }
+    }
+    let periods = doc
+        .get("periods")
+        .and_then(Value::as_array)
+        .ok_or("trace key \"periods\" missing or not an array")?;
+    for p in periods {
+        for key in ["name", "mae", "rmse", "mape", "replay_len"] {
+            if p.get(key).is_none() {
+                return Err(format!("period record missing {key:?}"));
+            }
+        }
+    }
+    if let Some(Value::Object(spans)) = doc.get("spans") {
+        for (path, stats) in spans {
+            for key in ["count", "total_seconds", "mean_seconds"] {
+                if stats.get(key).and_then(Value::as_f64).is_none() {
+                    return Err(format!("span {path:?} missing numeric {key:?}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: validate_json FILE.json [FILE.json ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        match validate(path) {
+            Ok(()) => println!("ok      {path}"),
+            Err(msg) => {
+                println!("FAILED  {path}: {msg}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -1,4 +1,4 @@
-//! Evaluation metrics (Eq. 30): MAE and RMSE.
+//! Evaluation metrics (Eq. 30): MAE, RMSE and MAPE.
 
 use urcl_tensor::Tensor;
 
@@ -20,14 +20,20 @@ pub fn rmse(pred: &Tensor, truth: &Tensor) -> f32 {
     pred.sub(truth).map(|d| d * d).mean_all().sqrt()
 }
 
-/// Accumulates MAE/RMSE over minibatches, weighting by element count so
-/// the final numbers equal a single pass over all data.
+/// Accumulates MAE/RMSE/MAPE over minibatches, weighting by element count
+/// so the final numbers equal a single pass over all data.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
     abs_sum: f64,
     sq_sum: f64,
     count: u64,
+    ape_sum: f64,
+    ape_count: u64,
 }
+
+/// Targets with |truth| below this are excluded from MAPE — the standard
+/// guard against near-zero denominators blowing the percentage up.
+const MAPE_MIN_TRUTH: f64 = 1e-4;
 
 impl Metrics {
     /// Empty accumulator.
@@ -43,6 +49,11 @@ impl Metrics {
             self.abs_sum += d.abs();
             self.sq_sum += d * d;
             self.count += 1;
+            let t_abs = (*t as f64).abs();
+            if t_abs >= MAPE_MIN_TRUTH {
+                self.ape_sum += d.abs() / t_abs;
+                self.ape_count += 1;
+            }
         }
     }
 
@@ -66,6 +77,18 @@ impl Metrics {
             0.0
         } else {
             (self.sq_sum / self.count as f64).sqrt() as f32
+        }
+    }
+
+    /// Mean absolute percentage error so far, in percent. Computed over
+    /// elements whose truth is meaningfully non-zero; scale-free, so it
+    /// reads the same in normalized and physical units when data is
+    /// min-max scaled from a zero minimum.
+    pub fn mape(&self) -> f32 {
+        if self.ape_count == 0 {
+            0.0
+        } else {
+            (100.0 * self.ape_sum / self.ape_count as f64) as f32
         }
     }
 
@@ -129,5 +152,17 @@ mod tests {
         let m = Metrics::new();
         assert_eq!(m.mae(), 0.0);
         assert_eq!(m.rmse(), 0.0);
+        assert_eq!(m.mape(), 0.0);
+    }
+
+    #[test]
+    fn mape_known_value_and_zero_guard() {
+        let mut m = Metrics::new();
+        // truths 2.0 and 4.0: errors 25% and 50%; the zero truth is skipped.
+        m.update(
+            &Tensor::from_vec(vec![2.5, 2.0, 7.0], &[3]),
+            &Tensor::from_vec(vec![2.0, 4.0, 0.0], &[3]),
+        );
+        assert!((m.mape() - 37.5).abs() < 1e-4);
     }
 }

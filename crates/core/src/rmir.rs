@@ -47,6 +47,7 @@ pub fn rmir_sample(
     let mut virtual_store = store.clone();
     virtual_store.zero_grads();
     {
+        let _sp = urcl_trace::span("virtual_update");
         let tape = Tape::new();
         let mut sess = Session::new(&tape, &virtual_store);
         let x = sess.input(current.x.clone());
@@ -55,8 +56,9 @@ pub fn rmir_sample(
         let grads = tape.backward(loss);
         let binds = sess.into_bindings();
         virtual_store.accumulate_grads(&binds, &grads);
+        virtual_store.sgd_step(lr);
     }
-    virtual_store.sgd_step(lr);
+    urcl_trace::counter_inc("rmir.virtual_updates");
 
     // Interference: per-sample loss increase under θᵛ over the pool.
     let pool_batch = buffer.gather(pool);
@@ -84,7 +86,9 @@ pub fn rmir_sample(
         .collect();
     by_similarity.sort_by(|a, b| b.1.total_cmp(&a.1));
     by_similarity.truncate(select);
-    by_similarity.into_iter().map(|(idx, _)| idx).collect()
+    let picked: Vec<usize> = by_similarity.into_iter().map(|(idx, _)| idx).collect();
+    urcl_trace::counter_add("rmir.selected", picked.len() as u64);
+    picked
 }
 
 /// Per-sample MAE of a batch under the given parameters: `[B]` values.

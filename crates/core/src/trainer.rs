@@ -304,6 +304,8 @@ impl ContinualTrainer {
         let mut seen_test_windows: Vec<Sample> = Vec::new();
 
         for (pi, period) in split.all_periods().into_iter().enumerate() {
+            let _period_sp = urcl_trace::span("period");
+            let rmir_selected_before = urcl_trace::counter_value("rmir.selected");
             let (train, _val, test) = period
                 .train_val_test(self.config.train_ratio, self.config.val_ratio);
             let all_train_windows = train.windows(data_cfg);
@@ -328,12 +330,14 @@ impl ContinualTrainer {
             let mut loss_curve = Vec::with_capacity(epochs);
             let mut train_watch = Stopwatch::new();
             for _epoch in 0..epochs {
+                let _epoch_sp = urcl_trace::span("epoch");
                 train_watch.start();
                 let mut order: Vec<usize> = (0..train_windows.len()).collect();
                 self.rng.shuffle(&mut order);
                 let mut epoch_loss = 0.0;
                 let mut batches = 0;
                 for chunk in order.chunks(self.config.batch_size) {
+                    let _step_sp = urcl_trace::span("step");
                     let samples: Vec<Sample> =
                         chunk.iter().map(|&i| train_windows[i].clone()).collect();
                     let loss =
@@ -363,6 +367,22 @@ impl ContinualTrainer {
 
             let (metrics, infer_per_obs) = evaluate(backbone, store, &test_windows);
             let (mae, rmse) = metrics.scaled(scale);
+            if urcl_trace::enabled() {
+                urcl_trace::gauge_set("replay.occupancy", self.buffer.len() as f64);
+                urcl_trace::record_period(urcl_trace::PeriodRecord {
+                    name: period.name.clone(),
+                    mae,
+                    rmse,
+                    mape: metrics.mape(),
+                    epochs,
+                    train_seconds_per_epoch: train_watch.mean_seconds(),
+                    mean_loss: loss_curve.last().copied().unwrap_or(0.0),
+                    replay_len: self.buffer.len(),
+                    replay_capacity: self.buffer.capacity(),
+                    rmir_selected: urcl_trace::counter_value("rmir.selected")
+                        - rmir_selected_before,
+                });
+            }
             sets.push(SetReport {
                 name: period.name.clone(),
                 mae,
@@ -394,11 +414,14 @@ impl ContinualTrainer {
     ) -> f32 {
         let current = stack_samples(chunk);
         let is_urcl = self.config.strategy == Strategy::Urcl;
+        urcl_trace::counter_inc("train.steps");
 
         // --- Data integration (Fig. 1 left): replay + STMixup. ---
         let train_batch = if is_urcl && !self.buffer.is_empty() {
+            let _replay_sp = urcl_trace::span("replay");
             let select = current.len();
             let indices = if self.config.ablation.rmir {
+                let _rmir_sp = urcl_trace::span("rmir");
                 let pool = self.rng.sample_indices(
                     self.buffer.len(),
                     self.config.rmir_pool.min(self.buffer.len()),
@@ -417,8 +440,10 @@ impl ContinualTrainer {
                 self.rng
                     .sample_indices(self.buffer.len(), select.min(self.buffer.len()))
             };
+            urcl_trace::counter_add("replay.sampled", indices.len() as u64);
             let replayed = self.buffer.gather(&indices);
             if self.config.ablation.mixup {
+                let _mixup_sp = urcl_trace::span("stmixup");
                 st_mixup(&current, &replayed, self.config.mixup_alpha, &mut self.rng).0
             } else {
                 concat_replay(&current, &replayed)
@@ -429,6 +454,7 @@ impl ContinualTrainer {
 
         // --- STCRL views (Fig. 1 top-right). ---
         let ssl_views = if is_urcl && self.config.ablation.graphcl && simsiam.is_some() {
+            let _augment_sp = urcl_trace::span("augment");
             let (v1, v2) = if self.config.ablation.augmentation {
                 let (a1, a2) = Augmentation::sample_two(&mut self.rng);
                 (
@@ -458,6 +484,7 @@ impl ContinualTrainer {
         let mut sess = Session::new(&tape, store);
         let x = sess.input(train_batch.x.clone());
         let y = sess.input(train_batch.y.clone());
+        let forward_sp = urcl_trace::span("forward");
         let pred = backbone.forward(&mut sess, x);
         let task_loss = pred.sub(y).abs().mean_all(); // MAE, Eq. 28
         let mut total = match (&ssl_views, simsiam) {
@@ -473,11 +500,18 @@ impl ContinualTrainer {
             }
         }
         let loss_value = total.value().item();
-        let grads = tape.backward(total);
+        drop(forward_sp);
+        let grads = {
+            let _backward_sp = urcl_trace::span("backward");
+            tape.backward(total)
+        };
         let binds = sess.into_bindings();
-        store.accumulate_grads(&binds, &grads);
-        store.clip_grad_norm(self.config.clip_norm);
-        opt.step(store);
+        {
+            let _optim_sp = urcl_trace::span("optim");
+            store.accumulate_grads(&binds, &grads);
+            store.clip_grad_norm(self.config.clip_norm);
+            opt.step(store);
+        }
 
         // The buffer keeps the *original* observations (Section IV-B).
         if is_urcl {
@@ -509,6 +543,7 @@ pub fn evaluate(
     if windows.is_empty() {
         return (metrics, 0.0);
     }
+    let _eval_sp = urcl_trace::span("eval");
     let mut watch = Stopwatch::new();
     for chunk in windows.chunks(32) {
         let batch = stack_samples(chunk);

@@ -67,9 +67,14 @@ pub trait Backbone {
     /// channel.
     fn decode<'t>(&self, sess: &mut Session<'t, '_>, h: Var<'t>) -> Var<'t>;
 
-    /// Full prediction pass (Eq. 17).
+    /// Full prediction pass (Eq. 17). The encode/decode halves are traced
+    /// separately so profiles show where a backbone spends its time.
     fn forward<'t>(&self, sess: &mut Session<'t, '_>, x: Var<'t>) -> Var<'t> {
-        let h = self.encode(sess, x);
+        let h = {
+            let _sp = urcl_trace::span("encode");
+            self.encode(sess, x)
+        };
+        let _sp = urcl_trace::span("decode");
         self.decode(sess, h)
     }
 

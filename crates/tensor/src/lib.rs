@@ -45,7 +45,7 @@ pub mod tensor;
 
 pub use autodiff::{Session, Tape, Var};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use parallel::{num_threads, parallel_for, set_threads};
+pub use parallel::{num_threads, parallel_for, pool_stats, reset_pool_stats, set_threads, PoolStats};
 pub use params::{ParamId, ParamStore};
 pub use rng::Rng;
 pub use tensor::Tensor;

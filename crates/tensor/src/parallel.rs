@@ -28,7 +28,7 @@
 //! this to measure 1-thread vs N-thread scaling in one process).
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Mutex, OnceLock};
 
@@ -115,6 +115,45 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+// Cumulative dispatch counters, always on: relaxed atomic increments are
+// far below the cost of a channel send, and `parallel_for` is called per
+// kernel, not per element. `urcl-trace` scrapes these into its snapshots.
+static PAR_CALLS: AtomicU64 = AtomicU64::new(0);
+static INLINE_CALLS: AtomicU64 = AtomicU64::new(0);
+static CHUNKS_DISPATCHED: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `parallel_for` dispatch statistics since process start (or
+/// the last [`reset_pool_stats`]). The pool hands contiguous chunks to
+/// dedicated workers rather than work-stealing, so chunk counts are the
+/// utilization signal: `chunks_dispatched / par_calls` is the mean number
+/// of workers engaged per parallel call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Calls that fanned out to at least one worker thread.
+    pub par_calls: u64,
+    /// Calls that ran entirely on the calling thread (small `n`, one
+    /// active thread, or a nested call inside a worker).
+    pub inline_calls: u64,
+    /// Chunks sent to worker threads (excludes the caller's own chunk).
+    pub chunks_dispatched: u64,
+}
+
+/// Reads the cumulative dispatch counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        par_calls: PAR_CALLS.load(Ordering::Relaxed),
+        inline_calls: INLINE_CALLS.load(Ordering::Relaxed),
+        chunks_dispatched: CHUNKS_DISPATCHED.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the cumulative dispatch counters.
+pub fn reset_pool_stats() {
+    PAR_CALLS.store(0, Ordering::Relaxed);
+    INLINE_CALLS.store(0, Ordering::Relaxed);
+    CHUNKS_DISPATCHED.store(0, Ordering::Relaxed);
+}
+
 /// The number of threads `parallel_for` currently targets (workers plus
 /// the calling thread).
 pub fn num_threads() -> usize {
@@ -152,9 +191,12 @@ where
     let max_chunks = n.div_ceil(grain);
     let chunks = threads.min(max_chunks).max(1);
     if chunks == 1 || IN_WORKER.with(|flag| flag.get()) {
+        INLINE_CALLS.fetch_add(1, Ordering::Relaxed);
         f(0..n);
         return;
     }
+    PAR_CALLS.fetch_add(1, Ordering::Relaxed);
+    CHUNKS_DISPATCHED.fetch_add(chunks as u64 - 1, Ordering::Relaxed);
 
     // Even split: the first `rem` chunks get one extra index.
     let base = n / chunks;

@@ -1,0 +1,122 @@
+//! Per-period metrics records: one entry per incremental set, mirroring
+//! the columns of the paper's Table II/III plus framework internals
+//! (replay-buffer occupancy, RMIR selection counts).
+
+use urcl_json::Value;
+
+use crate::{enabled, with_state};
+
+/// Everything worth keeping about one training period (the base set or one
+/// incremental set) of a continual run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodRecord {
+    /// Period name, e.g. `"B_set"`, `"I1_set"`.
+    pub name: String,
+    /// Mean absolute error on the period's test windows (original units).
+    pub mae: f32,
+    /// Root mean squared error on the period's test windows.
+    pub rmse: f32,
+    /// Mean absolute percentage error, in percent.
+    pub mape: f32,
+    /// Training epochs run for this period.
+    pub epochs: usize,
+    /// Mean wall-clock seconds per training epoch.
+    pub train_seconds_per_epoch: f64,
+    /// Mean training loss over the period's final epoch.
+    pub mean_loss: f32,
+    /// Replay-buffer occupancy after the period was absorbed.
+    pub replay_len: usize,
+    /// Replay-buffer capacity.
+    pub replay_capacity: usize,
+    /// Samples selected by RMIR for replay during this period.
+    pub rmir_selected: u64,
+}
+
+impl PeriodRecord {
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("name", Value::Str(self.name.clone()))
+            .with("mae", Value::Num(self.mae as f64))
+            .with("rmse", Value::Num(self.rmse as f64))
+            .with("mape", Value::Num(self.mape as f64))
+            .with("epochs", Value::Num(self.epochs as f64))
+            .with(
+                "train_seconds_per_epoch",
+                Value::Num(self.train_seconds_per_epoch),
+            )
+            .with("mean_loss", Value::Num(self.mean_loss as f64))
+            .with("replay_len", Value::Num(self.replay_len as f64))
+            .with("replay_capacity", Value::Num(self.replay_capacity as f64))
+            .with("rmir_selected", Value::Num(self.rmir_selected as f64))
+    }
+}
+
+/// Appends one period record to the global recorder. No-op while tracing
+/// is disabled.
+pub fn record_period(record: PeriodRecord) {
+    if !enabled() {
+        return;
+    }
+    with_state(|s| s.periods.push(record));
+}
+
+/// All period records collected so far, in insertion order.
+pub fn periods() -> Vec<PeriodRecord> {
+    with_state(|s| s.periods.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str) -> PeriodRecord {
+        PeriodRecord {
+            name: name.to_string(),
+            mae: 1.5,
+            rmse: 2.5,
+            mape: 12.0,
+            epochs: 2,
+            train_seconds_per_epoch: 0.25,
+            mean_loss: 0.8,
+            replay_len: 32,
+            replay_capacity: 64,
+            rmir_selected: 16,
+        }
+    }
+
+    #[test]
+    fn records_in_order_and_respects_enabled() {
+        let _guard = crate::test_lock::hold();
+        crate::disable();
+        crate::reset();
+        record_period(sample("dropped"));
+        assert!(periods().is_empty());
+        crate::enable();
+        record_period(sample("B_set"));
+        record_period(sample("I1_set"));
+        crate::disable();
+        let got = periods();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].name, "B_set");
+        assert_eq!(got[1].name, "I1_set");
+    }
+
+    #[test]
+    fn json_shape_is_complete() {
+        let v = sample("B_set").to_json();
+        for key in [
+            "name",
+            "mae",
+            "rmse",
+            "mape",
+            "epochs",
+            "train_seconds_per_epoch",
+            "mean_loss",
+            "replay_len",
+            "replay_capacity",
+            "rmir_selected",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+    }
+}

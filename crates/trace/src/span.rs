@@ -1,0 +1,67 @@
+//! Hierarchical wall-clock spans.
+//!
+//! [`span`] pushes a segment onto a thread-local path stack and returns an
+//! RAII guard; on drop the elapsed time is aggregated into the global state
+//! under the full slash-separated path. Nesting therefore costs one string
+//! push per level — no allocation per span once the path buffer has grown.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::{enabled, with_state};
+
+thread_local! {
+    /// The current span path of this thread, segments joined by '/'.
+    static PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// RAII guard for one span entry. Records elapsed wall-clock time under
+/// the span's full path when dropped. Inert when tracing was disabled at
+/// entry.
+#[must_use = "a span measures the scope of its guard; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    /// Path length to restore on exit (strips "/name" or "name").
+    prev_len: usize,
+}
+
+/// Enters a span named `name` under the current thread's span path.
+///
+/// `name` should be a static, schema-stable identifier (`"forward"`,
+/// `"replay"`); the aggregation key is the full path, e.g.
+/// `"period/epoch/step/forward"`. When tracing is disabled this is one
+/// atomic load and a branch.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            start: None,
+            prev_len: 0,
+        };
+    }
+    let prev_len = PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let prev = p.len();
+        if !p.is_empty() {
+            p.push('/');
+        }
+        p.push_str(name);
+        prev
+    });
+    SpanGuard {
+        start: Some(Instant::now()),
+        prev_len,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed();
+        PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            with_state(|s| s.record_span(&p, elapsed));
+            p.truncate(self.prev_len);
+        });
+    }
+}

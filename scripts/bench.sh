@@ -3,8 +3,13 @@
 # The binary itself sweeps 1 and 4 threads in one process (so determinism
 # across thread counts is asserted on identical inputs) and writes
 # BENCH_tensor_ops.json — GFLOP/s and speedup fields per case — at the
-# repository root. Pass --quick for a fast smoke run.
+# repository root. Also emits BENCH_trace.json via a traced framework run
+# (per-stage spans, per-period errors, disabled-tracing overhead probe)
+# and validates it through the in-tree JSON parser. Pass --quick for a
+# fast smoke run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release --offline -p urcl-bench
+./target/release/bench_framework "$@" --trace BENCH_trace.json
+./target/release/validate_json BENCH_trace.json
 exec ./target/release/bench_tensor_ops "$@"

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# One-shot CI gate: release build, full test suite, then a traced
+# framework run whose JSON output (and any other BENCH_*.json / results
+# files present) is schema-validated through the in-tree parser.
+#
+# Usage: scripts/ci.sh [--full]
+#   --full   also runs the #[ignore]-gated full-size integration tests
+#            (slow in debug builds).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL=0
+for arg in "$@"; do
+  case "$arg" in
+    --full) FULL=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test -q --offline
+
+if [[ "$FULL" == 1 ]]; then
+  echo "== full-size integration tests (ignored set) =="
+  cargo test -q --offline --test end_to_end --test backbones -- --ignored
+fi
+
+echo "== traced framework run =="
+./target/release/bench_framework --quick --trace BENCH_trace.json
+
+echo "== JSON round-trip + trace schema validation =="
+files=(BENCH_trace.json)
+for f in BENCH_*.json results/*.json; do
+  [[ -e "$f" && "$f" != BENCH_trace.json ]] && files+=("$f")
+done
+./target/release/validate_json "${files[@]}"
+
+echo "CI OK"

@@ -7,7 +7,9 @@
 //! Re-exports every workspace crate under one roof so examples and
 //! downstream users need a single dependency:
 //!
+//! * [`json`] — minimal JSON value model, parser and printer
 //! * [`tensor`] — dense tensors + tape autodiff (the training substrate)
+//! * [`trace`] — structured tracing: spans, counters, per-period metrics
 //! * [`graph`] — sensor networks and diffusion supports
 //! * [`stdata`] — synthetic streaming spatio-temporal datasets
 //! * [`nn`] — neural layers (GCN, gated TCN, GRU, attention, …)
@@ -17,7 +19,9 @@
 
 pub use urcl_core as core;
 pub use urcl_graph as graph;
+pub use urcl_json as json;
 pub use urcl_models as models;
 pub use urcl_nn as nn;
 pub use urcl_stdata as stdata;
 pub use urcl_tensor as tensor;
+pub use urcl_trace as trace;

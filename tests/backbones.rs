@@ -2,6 +2,11 @@
 //! backbone must (a) produce correctly-shaped predictions, (b) train
 //! through the continuous trainer, and (c) work as a URCL backbone with
 //! the STSimSiam head — the generality claim of Table IV.
+//!
+//! Training scenarios run on a shrunk 4-day stream to keep the debug-mode
+//! suite fast; the original full-size runs are gated behind `#[ignore]`
+//! and prove the same properties on 2.5× more data. Run them with
+//! `cargo test --test backbones -- --ignored` (or `--include-ignored`).
 
 use urcl::core::{ContinualTrainer, Strategy, StSimSiam, TrainerConfig};
 use urcl::graph::SensorNetwork;
@@ -13,8 +18,10 @@ use urcl::stdata::{ContinualSplit, DatasetConfig, SyntheticDataset};
 use urcl::tensor::autodiff::{Session, Tape};
 use urcl::tensor::{ParamStore, Rng};
 
-fn tiny() -> (SyntheticDataset, ContinualSplit, f32) {
-    let dataset = SyntheticDataset::generate(DatasetConfig::metr_la().tiny());
+fn tiny_days(num_days: usize) -> (SyntheticDataset, ContinualSplit, f32) {
+    let mut cfg = DatasetConfig::metr_la().tiny();
+    cfg.num_days = num_days;
+    let dataset = SyntheticDataset::generate(cfg);
     let normalizer = dataset.fit_normalizer();
     let raw = dataset.continual_split(2);
     let split = ContinualSplit {
@@ -77,7 +84,7 @@ fn all_backbones(
 
 #[test]
 fn every_backbone_predicts_correct_shapes() {
-    let (dataset, split, _) = tiny();
+    let (dataset, split, _) = tiny_days(4);
     let windows = split.base.windows(&dataset.config);
     let batch = urcl::stdata::stack_samples(&windows[..3]);
     for (model, store) in all_backbones(&dataset.network, &dataset.config) {
@@ -106,15 +113,14 @@ fn every_backbone_predicts_correct_shapes() {
     }
 }
 
-#[test]
-fn every_backbone_trains_through_the_stream() {
-    let (dataset, split, scale) = tiny();
+fn check_every_backbone_trains(num_days: usize, window_stride: usize) {
+    let (dataset, split, scale) = tiny_days(num_days);
     for (model, mut store) in all_backbones(&dataset.network, &dataset.config) {
         let cfg = TrainerConfig {
             strategy: Strategy::FinetuneSt,
             epochs_base: 1,
             epochs_incremental: 1,
-            window_stride: 10,
+            window_stride,
             ..TrainerConfig::default()
         };
         let mut trainer = ContinualTrainer::new(cfg);
@@ -137,9 +143,20 @@ fn every_backbone_trains_through_the_stream() {
 }
 
 #[test]
-fn urcl_accepts_alternate_backbones() {
+fn every_backbone_trains_through_the_stream() {
+    check_every_backbone_trains(4, 14);
+}
+
+/// Original full-size run over all eight backbones (slow in debug builds).
+#[test]
+#[ignore = "full-size stream; run with cargo test --test backbones -- --ignored"]
+fn every_backbone_trains_through_the_stream_full() {
+    check_every_backbone_trains(10, 10);
+}
+
+fn check_urcl_accepts_alternate_backbones(num_days: usize, window_stride: usize) {
     // Table IV: DCRNN and GeoMAN as URCL backbones.
-    let (dataset, split, scale) = tiny();
+    let (dataset, split, scale) = tiny_days(num_days);
     let base = BackboneConfig::small(
         dataset.config.num_nodes,
         dataset.config.num_channels(),
@@ -168,7 +185,7 @@ fn urcl_accepts_alternate_backbones() {
         let cfg = TrainerConfig {
             epochs_base: 1,
             epochs_incremental: 1,
-            window_stride: 12,
+            window_stride,
             ..TrainerConfig::default()
         };
         let mut trainer = ContinualTrainer::new(cfg);
@@ -191,8 +208,20 @@ fn urcl_accepts_alternate_backbones() {
 }
 
 #[test]
+fn urcl_accepts_alternate_backbones() {
+    check_urcl_accepts_alternate_backbones(4, 16);
+}
+
+/// Original full-size run (slow in debug builds).
+#[test]
+#[ignore = "full-size stream; run with cargo test --test backbones -- --ignored"]
+fn urcl_accepts_alternate_backbones_full() {
+    check_urcl_accepts_alternate_backbones(10, 12);
+}
+
+#[test]
 fn arima_fits_and_forecasts_the_stream() {
-    let (dataset, split, _) = tiny();
+    let (dataset, split, _) = tiny_days(4);
     let cfg = &dataset.config;
     let train = &split.base.series;
     let t = train.shape()[0];

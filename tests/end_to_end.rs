@@ -1,14 +1,22 @@
 //! End-to-end integration test: the full URCL pipeline — data generation,
 //! normalization, streaming splits, GraphWaveNet + STSimSiam, replay +
 //! RMIR + STMixup + augmentation — on a tiny dataset.
+//!
+//! Each scenario runs at two scales: a shrunk stream (4 days, coarse
+//! window stride) that keeps the debug-mode suite fast, and the original
+//! full-size run gated behind `#[ignore]`. The ignored variants prove the
+//! same properties on 2.5× more data; run them with
+//! `cargo test --test end_to_end -- --ignored` (or `--include-ignored`).
 
 use urcl::core::{ContinualTrainer, Strategy, StSimSiam, TrainerConfig};
 use urcl::models::{Backbone, GraphWaveNet, GwnConfig};
 use urcl::stdata::{ContinualSplit, DatasetConfig, SyntheticDataset};
 use urcl::tensor::{ParamStore, Rng};
 
-fn tiny_context() -> (SyntheticDataset, ContinualSplit, f32) {
-    let dataset = SyntheticDataset::generate(DatasetConfig::metr_la().tiny());
+fn tiny_context_days(num_days: usize) -> (SyntheticDataset, ContinualSplit, f32) {
+    let mut cfg = DatasetConfig::metr_la().tiny();
+    cfg.num_days = num_days;
+    let dataset = SyntheticDataset::generate(cfg);
     let normalizer = dataset.fit_normalizer();
     let raw = dataset.continual_split(2);
     let split = ContinualSplit {
@@ -38,14 +46,13 @@ fn build_gwn(dataset: &SyntheticDataset, seed: u64) -> (ParamStore, GraphWaveNet
     (store, model, simsiam)
 }
 
-#[test]
-fn urcl_full_pipeline_learns_and_reports() {
-    let (dataset, split, scale) = tiny_context();
+fn check_full_pipeline(num_days: usize, window_stride: usize) {
+    let (dataset, split, scale) = tiny_context_days(num_days);
     let (mut store, model, simsiam) = build_gwn(&dataset, 1);
     let cfg = TrainerConfig {
         epochs_base: 3,
         epochs_incremental: 1,
-        window_stride: 8,
+        window_stride,
         ..TrainerConfig::default()
     };
     let mut trainer = ContinualTrainer::new(cfg);
@@ -86,8 +93,19 @@ fn urcl_full_pipeline_learns_and_reports() {
 }
 
 #[test]
-fn urcl_beats_one_fit_all_on_drifted_stream() {
-    let (dataset, split, scale) = tiny_context();
+fn urcl_full_pipeline_learns_and_reports() {
+    check_full_pipeline(4, 10);
+}
+
+/// Original full-size run (~10 days of data; slow in debug builds).
+#[test]
+#[ignore = "full-size stream; run with cargo test --test end_to_end -- --ignored"]
+fn urcl_full_pipeline_learns_and_reports_full() {
+    check_full_pipeline(10, 8);
+}
+
+fn check_urcl_beats_one_fit_all(num_days: usize, window_stride: usize) {
+    let (dataset, split, scale) = tiny_context_days(num_days);
 
     let run = |strategy: Strategy| -> f32 {
         let (mut store, model, simsiam) = build_gwn(&dataset, 5);
@@ -96,7 +114,7 @@ fn urcl_beats_one_fit_all_on_drifted_stream() {
             strategy,
             epochs_base: 2,
             epochs_incremental: 1,
-            window_stride: 8,
+            window_stride,
             ..TrainerConfig::default()
         };
         let mut trainer = ContinualTrainer::new(cfg);
@@ -124,8 +142,20 @@ fn urcl_beats_one_fit_all_on_drifted_stream() {
 }
 
 #[test]
+fn urcl_beats_one_fit_all_on_drifted_stream() {
+    check_urcl_beats_one_fit_all(4, 10);
+}
+
+/// Original full-size comparison (slow in debug builds).
+#[test]
+#[ignore = "full-size stream; run with cargo test --test end_to_end -- --ignored"]
+fn urcl_beats_one_fit_all_on_drifted_stream_full() {
+    check_urcl_beats_one_fit_all(10, 8);
+}
+
+#[test]
 fn deterministic_given_seeds() {
-    let (dataset, split, scale) = tiny_context();
+    let (dataset, split, scale) = tiny_context_days(4);
     let run = || -> Vec<f32> {
         let (mut store, model, simsiam) = build_gwn(&dataset, 9);
         let cfg = TrainerConfig {
@@ -162,7 +192,7 @@ fn shared_encoder_between_prediction_and_simsiam() {
     use urcl::tensor::autodiff::{Session, Tape};
     use urcl::tensor::{Adam, Optimizer};
 
-    let (dataset, split, _) = tiny_context();
+    let (dataset, split, _) = tiny_context_days(4);
     let (mut store, model, simsiam) = build_gwn(&dataset, 13);
     let windows = split.base.windows(&dataset.config);
     let batch = urcl::stdata::stack_samples(&windows[..4]);
