@@ -38,12 +38,17 @@ pub use augment::{Augmentation, AugmentedView, TimeShiftKind};
 pub use ewc::EwcState;
 pub use metrics::{mae, rmse, Metrics};
 pub use mixup::st_mixup;
-pub use persist::{load_checkpoint, save_checkpoint, Checkpoint, PersistError};
+pub use persist::{
+    load_checkpoint, load_checkpoint_into, save_checkpoint, save_full_checkpoint,
+    Checkpoint, CheckpointDir, PersistError, PipelineState,
+};
 pub use pipeline::UrclPipeline;
 pub use replay::ReplayBuffer;
-pub use rmir::rmir_sample;
+pub use rmir::{rmir_sample, RmirStats};
 pub use simsiam::StSimSiam;
 pub use timing::Stopwatch;
 pub use trainer::{
-    Ablation, ContinualTrainer, RunReport, SetReport, Strategy, TrainerConfig,
+    Ablation, ContinualTrainer, HookAction, NoopHook, RunOutcome, RunReport, SetReport,
+    StepBudget, StepInfo, Strategy, TrainCursor, TrainHook, TrainerConfig,
+    TrainerSnapshot,
 };

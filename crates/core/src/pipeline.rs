@@ -13,6 +13,7 @@
 //! The lower-level pieces stay public for research use; this type is for
 //! users who want the paper's system, not its internals.
 
+use crate::persist::{self, Checkpoint, CheckpointDir, PersistError, PipelineState};
 use crate::simsiam::StSimSiam;
 use crate::trainer::{ContinualTrainer, SetReport, TrainerConfig};
 use urcl_graph::SensorNetwork;
@@ -87,6 +88,47 @@ impl UrclPipeline {
     /// layout.
     pub fn restore(&mut self, store: &ParamStore) {
         self.store.copy_values_from(store);
+    }
+
+    /// Captures the full v2-checkpoint pipeline section: trainer state
+    /// (RNG, Adam moments, replay buffer, RMIR stats, cursor), normalizer
+    /// statistics and the period counter.
+    pub fn pipeline_state(&self) -> PipelineState {
+        PipelineState {
+            trainer: self.trainer.snapshot(),
+            normalizer: self.normalizer.clone(),
+            periods_seen: self.periods_seen,
+        }
+    }
+
+    /// Atomically writes a full-pipeline checkpoint into `dir` (rotating
+    /// `latest`/`previous`). Returns the document size in bytes.
+    pub fn save_checkpoint(
+        &self,
+        dir: &CheckpointDir,
+        description: &str,
+    ) -> Result<u64, PersistError> {
+        dir.save(description, &self.store, Some(&self.pipeline_state()))
+    }
+
+    /// Resumes this pipeline from a full (v2) checkpoint: parameters,
+    /// trainer state, normalizer and period counter all come from disk, so
+    /// subsequent [`Self::observe_period`] calls continue the stream
+    /// bitwise-identically to a never-interrupted process. Params-only
+    /// checkpoints are rejected with [`PersistError::Format`] — use
+    /// [`Self::restore`] plus [`Self::observe_period_statistics_only`]
+    /// for those.
+    pub fn resume_from(&mut self, ckpt: Checkpoint) -> Result<(), PersistError> {
+        let Some(pipeline) = ckpt.pipeline else {
+            return Err(PersistError::Format(
+                "checkpoint has no pipeline section (params-only save?)".into(),
+            ));
+        };
+        persist::copy_store_checked(&ckpt.store, &mut self.store)?;
+        self.trainer.restore(pipeline.trainer);
+        self.normalizer = pipeline.normalizer;
+        self.periods_seen = pipeline.periods_seen;
+        Ok(())
     }
 
     /// Fits the normalizer from a raw series without training — the
@@ -268,5 +310,64 @@ mod tests {
         assert_ne!(pipe.forecast(&window), before);
         pipe.restore(&saved);
         assert_eq!(pipe.forecast(&window), before);
+    }
+
+    /// Full v2 checkpoint between streaming periods: a fresh process (even
+    /// one built with a different seed) that resumes from disk must finish
+    /// the stream bitwise-identically to the uninterrupted one.
+    #[test]
+    fn full_checkpoint_between_periods_resumes_bitwise() {
+        let (ds, mut interrupted) = setup();
+        let split = ds.continual_split(2);
+
+        // Reference: both periods in one process.
+        let mut uninterrupted =
+            UrclPipeline::new(ds.network.clone(), ds.config.clone(), quick_cfg(), 3);
+        uninterrupted.observe_period(split.base.series.clone());
+        let ref_report = uninterrupted.observe_period(split.incremental[0].series.clone());
+
+        // Interrupted: first period, checkpoint, "crash".
+        interrupted.observe_period(split.base.series.clone());
+        let dir_path = std::env::temp_dir()
+            .join(format!("urcl-test-{}-pipe-resume", std::process::id()));
+        std::fs::remove_dir_all(&dir_path).ok();
+        let slots = CheckpointDir::new(&dir_path).unwrap();
+        interrupted.save_checkpoint(&slots, "after base period").unwrap();
+        drop(interrupted);
+
+        // Fresh process: different seed, so every bit of matching state
+        // must have come from the checkpoint.
+        let mut resumed =
+            UrclPipeline::new(ds.network.clone(), ds.config.clone(), quick_cfg(), 999);
+        resumed.resume_from(slots.load().unwrap()).unwrap();
+        assert_eq!(resumed.periods_seen(), 1);
+        let res_report = resumed.observe_period(split.incremental[0].series.clone());
+        std::fs::remove_dir_all(&dir_path).ok();
+
+        assert_eq!(res_report.name, ref_report.name);
+        assert_eq!(res_report.mae.to_bits(), ref_report.mae.to_bits());
+        assert_eq!(res_report.rmse.to_bits(), ref_report.rmse.to_bits());
+        for (a, b) in uninterrupted.store().ids().zip(resumed.store().ids()) {
+            let (ta, tb) = (uninterrupted.store().value(a), resumed.store().value(b));
+            assert_eq!(ta.shape(), tb.shape());
+            for (x, y) in ta.data().iter().zip(tb.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn params_only_checkpoint_rejected_by_resume() {
+        let (_, mut pipe) = setup();
+        let ckpt = Checkpoint {
+            version: 1,
+            description: "legacy".into(),
+            store: pipe.store().clone(),
+            pipeline: None,
+        };
+        assert!(matches!(
+            pipe.resume_from(ckpt),
+            Err(PersistError::Format(_))
+        ));
     }
 }

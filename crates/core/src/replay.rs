@@ -24,6 +24,23 @@ impl ReplayBuffer {
         }
     }
 
+    /// Rebuilds a buffer from checkpointed contents. `samples` are in
+    /// eviction order (oldest first), exactly as produced by
+    /// [`Self::iter`]. Panics if more samples than `capacity` are given —
+    /// a well-formed checkpoint can never contain them.
+    pub fn from_samples(capacity: usize, samples: Vec<Sample>) -> Self {
+        assert!(capacity > 0, "replay buffer capacity must be positive");
+        assert!(
+            samples.len() <= capacity,
+            "checkpoint holds {} samples but capacity is {capacity}",
+            samples.len()
+        );
+        Self {
+            entries: samples.into(),
+            capacity,
+        }
+    }
+
     /// Maximum number of stored observations.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -56,14 +73,28 @@ impl ReplayBuffer {
         }
     }
 
-    /// Observation at a stable index (0 = oldest).
+    /// Observation at a stable index (0 = oldest). Panics with a clear
+    /// message when the index is past the current occupancy — callers must
+    /// draw indices against [`Self::len`], never [`Self::capacity`].
     pub fn get(&self, idx: usize) -> &Sample {
+        assert!(
+            idx < self.entries.len(),
+            "replay index {idx} out of range (occupancy {}, capacity {})",
+            self.entries.len(),
+            self.capacity
+        );
         &self.entries[idx]
     }
 
     /// Draws `k` distinct observations uniformly (the baseline sampler the
-    /// RMIR ablation w/o_RMIR falls back to). Returns fewer when the
-    /// buffer holds fewer.
+    /// RMIR ablation w/o_RMIR falls back to).
+    ///
+    /// Underfull buffers are explicit, not an error: the draw is clamped
+    /// to the current occupancy, so an empty buffer yields `[]`, a buffer
+    /// holding one observation yields at most that observation, and
+    /// `k >= len` returns every stored observation (in random order). The
+    /// RNG is only consumed when something is actually drawn, keeping
+    /// fixed-seed streams reproducible across occupancy levels.
     pub fn sample_uniform(&self, k: usize, rng: &mut Rng) -> Vec<Sample> {
         let k = k.min(self.len());
         if k == 0 {
@@ -75,9 +106,11 @@ impl ReplayBuffer {
             .collect()
     }
 
-    /// Stacks the observations at `indices` into a batch.
+    /// Stacks the observations at `indices` into a batch. Panics (via
+    /// [`Self::get`]) if any index is past the current occupancy; an empty
+    /// index list panics in `stack_samples` — sample first, then gather.
     pub fn gather(&self, indices: &[usize]) -> Batch {
-        let samples: Vec<Sample> = indices.iter().map(|&i| self.entries[i].clone()).collect();
+        let samples: Vec<Sample> = indices.iter().map(|&i| self.get(i).clone()).collect();
         stack_samples(&samples)
     }
 
@@ -161,5 +194,72 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = ReplayBuffer::new(0);
+    }
+
+    /// Occupancy sweep 0, 1, capacity-1, capacity: sampling behaviour must
+    /// be explicit at every fill level.
+    #[test]
+    fn sampling_across_occupancy_levels() {
+        let cap = 4;
+        let mut rng = Rng::seed_from_u64(7);
+        for occupancy in [0usize, 1, cap - 1, cap] {
+            let mut buf = ReplayBuffer::new(cap);
+            buf.extend(&(0..occupancy).map(|i| sample(i as f32)).collect::<Vec<_>>());
+            assert_eq!(buf.len(), occupancy);
+            // Ask for fewer, exactly, and more than stored.
+            for k in [0usize, 1, occupancy, occupancy + 3] {
+                let got = buf.sample_uniform(k, &mut rng);
+                assert_eq!(got.len(), k.min(occupancy), "occ {occupancy}, k {k}");
+            }
+            // as_batch mirrors the same rule: None when empty, else all.
+            match buf.as_batch() {
+                None => assert_eq!(occupancy, 0),
+                Some(b) => assert_eq!(b.len(), occupancy),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_buffer_sampling_consumes_no_rng() {
+        let buf = ReplayBuffer::new(4);
+        let mut a = Rng::seed_from_u64(3);
+        let mut b = Rng::seed_from_u64(3);
+        assert!(buf.sample_uniform(5, &mut a).is_empty());
+        // The stream was untouched: both generators still agree.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range (occupancy 2, capacity 4)")]
+    fn get_past_occupancy_panics_clearly() {
+        let mut buf = ReplayBuffer::new(4);
+        buf.extend(&[sample(0.0), sample(1.0)]);
+        let _ = buf.get(2); // within capacity, past occupancy
+    }
+
+    #[test]
+    fn from_samples_restores_contents_and_eviction_order() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(sample(i as f32));
+        }
+        let rebuilt =
+            ReplayBuffer::from_samples(buf.capacity(), buf.iter().cloned().collect());
+        assert_eq!(rebuilt.len(), buf.len());
+        assert_eq!(rebuilt.capacity(), 3);
+        for i in 0..buf.len() {
+            assert_eq!(rebuilt.get(i).x.data(), buf.get(i).x.data());
+        }
+        // Eviction continues from the restored order.
+        let mut rebuilt = rebuilt;
+        rebuilt.push(sample(9.0));
+        assert_eq!(rebuilt.get(0).x.data()[0], 3.0);
+        assert_eq!(rebuilt.get(2).x.data()[0], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity is 2")]
+    fn from_samples_overflow_rejected() {
+        let _ = ReplayBuffer::from_samples(2, (0..3).map(|i| sample(i as f32)).collect());
     }
 }

@@ -14,6 +14,27 @@ use urcl_stdata::Batch;
 use urcl_tensor::autodiff::{Session, Tape};
 use urcl_tensor::{ParamStore, Tensor};
 
+/// Running statistics of RMIR selection over a training run. The trainer
+/// accumulates these; they are part of the v2 full-pipeline checkpoint so
+/// a resumed process reports the same cumulative selection activity as an
+/// uninterrupted one (and so dashboards built on them survive restarts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RmirStats {
+    /// Number of virtual updates θᵛ = θ − α∇L performed (one per RMIR
+    /// sampling round, Eq. 3).
+    pub virtual_updates: u64,
+    /// Total buffer observations selected for replay by RMIR.
+    pub selected: u64,
+}
+
+impl RmirStats {
+    /// Records one sampling round that picked `picked` observations.
+    pub fn record_round(&mut self, picked: usize) {
+        self.virtual_updates += 1;
+        self.selected += picked as u64;
+    }
+}
+
 /// Selects `select` buffer indices for replay.
 ///
 /// * `pool` — buffer indices forming the candidate pool to score. Scoring

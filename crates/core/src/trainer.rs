@@ -16,7 +16,7 @@ use crate::ewc::EwcState;
 use crate::metrics::Metrics;
 use crate::mixup::{concat_replay, st_mixup};
 use crate::replay::ReplayBuffer;
-use crate::rmir::rmir_sample;
+use crate::rmir::{rmir_sample, RmirStats};
 use crate::simsiam::StSimSiam;
 use crate::timing::Stopwatch;
 use urcl_graph::SensorNetwork;
@@ -24,7 +24,7 @@ use urcl_json::{ToJson, Value};
 use urcl_models::Backbone;
 use urcl_stdata::{stack_samples, ContinualSplit, DatasetConfig, Sample};
 use urcl_tensor::autodiff::{Session, Tape};
-use urcl_tensor::{Adam, Optimizer, ParamStore, Rng};
+use urcl_tensor::{Adam, AdamState, Optimizer, ParamStore, Rng};
 
 /// Training strategy for streaming data (Section V-B1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,12 +236,161 @@ impl RunReport {
     }
 }
 
+/// What a [`TrainHook`] tells the trainer to do after a callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookAction {
+    /// Keep training.
+    Continue,
+    /// Stop cleanly at this boundary. The trainer returns
+    /// [`RunOutcome::Paused`] with its full state intact, ready to be
+    /// [`ContinualTrainer::snapshot`]ted and later resumed.
+    Stop,
+}
+
+/// Context handed to [`TrainHook::after_step`] once per optimisation step.
+#[derive(Debug, Clone)]
+pub struct StepInfo {
+    /// Total optimisation steps taken across the whole run (1-based: the
+    /// step just completed).
+    pub global_step: u64,
+    /// Streaming period index of this step.
+    pub period: usize,
+    /// Epoch index within the period.
+    pub epoch: usize,
+    /// Chunks completed so far in this epoch (1-based).
+    pub step_in_epoch: usize,
+    /// Total loss of the step just taken.
+    pub loss: f32,
+    /// Whether RMIR performed a virtual update + selection this step.
+    pub rmir_ran: bool,
+    /// Observations inserted into the replay buffer by this step.
+    pub replay_inserted: usize,
+    /// Replay-buffer occupancy after the step.
+    pub replay_len: usize,
+}
+
+/// Observer with veto power over the training loop — the mechanism behind
+/// step-budgeted training, periodic checkpointing and the kill/resume
+/// fault-injection harness (`tests/crash_resume.rs`).
+pub trait TrainHook {
+    /// Called after every optimisation step (replay insert and RMIR
+    /// bookkeeping included — the state is checkpoint-consistent here).
+    fn after_step(&mut self, _info: &StepInfo) -> HookAction {
+        HookAction::Continue
+    }
+
+    /// Called after a period finishes (trained, evaluated, reported).
+    fn after_period(&mut self, _period: usize, _report: &SetReport) -> HookAction {
+        HookAction::Continue
+    }
+}
+
+/// A hook that never stops: plain uninterrupted training.
+pub struct NoopHook;
+
+impl TrainHook for NoopHook {}
+
+/// Stops the run once a global-step budget is exhausted — the standard
+/// way to park a trainer at a precise, resumable boundary.
+pub struct StepBudget {
+    budget: u64,
+}
+
+impl StepBudget {
+    /// Stops after `budget` optimisation steps (counted from the start of
+    /// the run, not from where it resumed).
+    pub fn new(budget: u64) -> Self {
+        Self { budget }
+    }
+}
+
+impl TrainHook for StepBudget {
+    fn after_step(&mut self, info: &StepInfo) -> HookAction {
+        if info.global_step >= self.budget {
+            HookAction::Stop
+        } else {
+            HookAction::Continue
+        }
+    }
+}
+
+/// Result of a hooked run: either it went to completion or a hook parked
+/// it at a resumable boundary.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The full streaming protocol finished; here is the report.
+    Completed(RunReport),
+    /// A hook stopped the run. Trainer state is intact: snapshot it, or
+    /// call [`ContinualTrainer::resume_with_hook`] to keep going.
+    Paused,
+}
+
+/// Fine-grained position of a paused run inside the streaming protocol.
+/// Everything needed to resume mid-epoch is here — including the
+/// already-shuffled window order, whose RNG draws have been consumed.
+#[derive(Debug, Clone, Default)]
+pub struct TrainCursor {
+    /// Current period index (number of fully completed periods).
+    pub period: usize,
+    /// Whether the current period has begun (its test windows joined the
+    /// cumulative evaluation pool).
+    pub started: bool,
+    /// Completed epochs within the current period.
+    pub epoch: usize,
+    /// Completed chunks within the current epoch's `order`.
+    pub step: usize,
+    /// The current epoch's shuffled window order (valid only while
+    /// `order_valid`).
+    pub order: Vec<usize>,
+    /// Whether `order` belongs to an in-flight epoch.
+    pub order_valid: bool,
+    /// Mean losses of the completed epochs of the current period.
+    pub loss_curve: Vec<f32>,
+    /// Summed loss over the current epoch's completed chunks.
+    pub epoch_loss: f32,
+    /// Chunks contributing to `epoch_loss`.
+    pub batches: usize,
+    /// Optimisation steps taken across the whole run.
+    pub global_step: u64,
+    /// Reports of the fully completed periods.
+    pub sets: Vec<SetReport>,
+}
+
+/// A serializable snapshot of the trainer's complete mutable state. Pair
+/// it with the [`ParamStore`] values and the run is resumable bit-for-bit
+/// — see `crate::persist` for the on-disk v2 checkpoint format.
+#[derive(Clone)]
+pub struct TrainerSnapshot {
+    /// xoshiro256++ state of the trainer's RNG stream.
+    pub rng_state: [u64; 4],
+    /// Adam step count and moment estimates.
+    pub adam: AdamState,
+    /// Replay-buffer capacity at snapshot time.
+    pub replay_capacity: usize,
+    /// Replay-buffer contents, oldest first.
+    pub replay: Vec<Sample>,
+    /// Cumulative RMIR selection statistics.
+    pub rmir: RmirStats,
+    /// Position inside the streaming protocol.
+    pub cursor: TrainCursor,
+}
+
+/// Result of one optimisation step (internal).
+struct StepOutcome {
+    loss: f32,
+    rmir_ran: bool,
+    replay_inserted: usize,
+}
+
 /// Drives a backbone through the streaming protocol.
 pub struct ContinualTrainer {
     config: TrainerConfig,
     rng: Rng,
     buffer: ReplayBuffer,
     ewc: Option<EwcState>,
+    opt: Adam,
+    rmir_stats: RmirStats,
+    cursor: TrainCursor,
 }
 
 impl ContinualTrainer {
@@ -249,11 +398,15 @@ impl ContinualTrainer {
     pub fn new(config: TrainerConfig) -> Self {
         let rng = Rng::seed_from_u64(config.seed);
         let buffer = ReplayBuffer::new(config.buffer_capacity);
+        let opt = Adam::new(config.lr);
         Self {
             config,
             rng,
             buffer,
             ewc: None,
+            opt,
+            rmir_stats: RmirStats::default(),
+            cursor: TrainCursor::default(),
         }
     }
 
@@ -265,6 +418,49 @@ impl ContinualTrainer {
     /// The active configuration.
     pub fn config(&self) -> &TrainerConfig {
         &self.config
+    }
+
+    /// Cumulative RMIR selection statistics for this trainer.
+    pub fn rmir_stats(&self) -> RmirStats {
+        self.rmir_stats
+    }
+
+    /// Optimisation steps taken in the current (possibly paused) run.
+    pub fn global_step(&self) -> u64 {
+        self.cursor.global_step
+    }
+
+    /// The current resume position (diagnostics / persistence).
+    pub fn cursor(&self) -> &TrainCursor {
+        &self.cursor
+    }
+
+    /// Captures the trainer's complete mutable state. Together with the
+    /// parameter values this is everything a fresh process needs to
+    /// continue the run bitwise-identically.
+    pub fn snapshot(&self) -> TrainerSnapshot {
+        TrainerSnapshot {
+            rng_state: self.rng.state(),
+            adam: self.opt.export_state(),
+            replay_capacity: self.buffer.capacity(),
+            replay: self.buffer.iter().cloned().collect(),
+            rmir: self.rmir_stats,
+            cursor: self.cursor.clone(),
+        }
+    }
+
+    /// Restores a [`Self::snapshot`] into this trainer (typically one
+    /// freshly built from the same [`TrainerConfig`]). The caller is
+    /// responsible for restoring the [`ParamStore`] values and replaying
+    /// the same data split into [`Self::resume_with_hook`]; EWC state is
+    /// not checkpointed (see DESIGN.md §9).
+    pub fn restore(&mut self, snapshot: TrainerSnapshot) {
+        self.rng = Rng::from_state(snapshot.rng_state);
+        self.opt = Adam::new(self.config.lr);
+        self.opt.import_state(snapshot.adam);
+        self.buffer = ReplayBuffer::from_samples(snapshot.replay_capacity, snapshot.replay);
+        self.rmir_stats = snapshot.rmir;
+        self.cursor = snapshot.cursor;
     }
 
     /// Runs the full streaming protocol over a *normalized* split,
@@ -292,18 +488,104 @@ impl ContinualTrainer {
         data_cfg: &DatasetConfig,
         scale: f32,
     ) -> RunReport {
+        match self.run_with_hook(
+            backbone,
+            simsiam,
+            store,
+            net,
+            split,
+            data_cfg,
+            scale,
+            &mut NoopHook,
+        ) {
+            RunOutcome::Completed(report) => report,
+            RunOutcome::Paused => unreachable!("NoopHook never pauses a run"),
+        }
+    }
+
+    /// [`Self::run`] with a [`TrainHook`] observing (and possibly pausing)
+    /// the run. Starts from scratch: the cursor and optimizer are reset,
+    /// but — exactly like `run` — the RNG stream and the replay buffer
+    /// carry over from previous calls, which is what the streaming
+    /// [`crate::pipeline::UrclPipeline`] relies on between periods.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_hook(
+        &mut self,
+        backbone: &dyn Backbone,
+        simsiam: Option<&StSimSiam>,
+        store: &mut ParamStore,
+        net: &SensorNetwork,
+        split: &ContinualSplit,
+        data_cfg: &DatasetConfig,
+        scale: f32,
+        hook: &mut dyn TrainHook,
+    ) -> RunOutcome {
+        self.opt = Adam::new(self.config.lr);
+        self.cursor = TrainCursor::default();
+        self.drive(backbone, simsiam, store, net, split, data_cfg, scale, hook)
+    }
+
+    /// Continues a paused or [`Self::restore`]d run from the current
+    /// cursor. The caller must supply the same split (bit-identical data)
+    /// the run originally consumed; data-derived state such as the
+    /// cumulative evaluation pool is rebuilt from it deterministically.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_with_hook(
+        &mut self,
+        backbone: &dyn Backbone,
+        simsiam: Option<&StSimSiam>,
+        store: &mut ParamStore,
+        net: &SensorNetwork,
+        split: &ContinualSplit,
+        data_cfg: &DatasetConfig,
+        scale: f32,
+        hook: &mut dyn TrainHook,
+    ) -> RunOutcome {
+        self.drive(backbone, simsiam, store, net, split, data_cfg, scale, hook)
+    }
+
+    /// The streaming protocol as an explicitly resumable state machine:
+    /// every loop reads its position from `self.cursor`, so the run can
+    /// stop at any step boundary and continue later — in this process or,
+    /// via [`Self::snapshot`] / [`Self::restore`], in a new one.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        &mut self,
+        backbone: &dyn Backbone,
+        simsiam: Option<&StSimSiam>,
+        store: &mut ParamStore,
+        net: &SensorNetwork,
+        split: &ContinualSplit,
+        data_cfg: &DatasetConfig,
+        scale: f32,
+        hook: &mut dyn TrainHook,
+    ) -> RunOutcome {
         if self.config.strategy == Strategy::Urcl && self.config.ablation.graphcl {
             assert!(
                 simsiam.is_some(),
                 "URCL with GraphCL enabled needs an StSimSiam head"
             );
         }
-        let mut opt = Adam::new(self.config.lr);
-        let mut sets = Vec::new();
+        let periods = split.all_periods();
+        assert!(
+            self.cursor.period <= periods.len(),
+            "cursor period {} beyond split ({} periods) — resumed with wrong data?",
+            self.cursor.period,
+            periods.len()
+        );
         // Cumulative evaluation pool: test windows of every period seen.
+        // Rebuilt deterministically for periods the cursor already began.
+        let begun = self.cursor.period + usize::from(self.cursor.started);
         let mut seen_test_windows: Vec<Sample> = Vec::new();
+        for period in periods.iter().take(begun) {
+            let (_train, _val, test) =
+                period.train_val_test(self.config.train_ratio, self.config.val_ratio);
+            seen_test_windows.extend(test.windows(data_cfg));
+        }
 
-        for (pi, period) in split.all_periods().into_iter().enumerate() {
+        while self.cursor.period < periods.len() {
+            let pi = self.cursor.period;
+            let period = periods[pi];
             let _period_sp = urcl_trace::span("period");
             let rmir_selected_before = urcl_trace::counter_value("rmir.selected");
             let (train, _val, test) = period
@@ -313,7 +595,10 @@ impl ContinualTrainer {
                 .into_iter()
                 .step_by(self.config.window_stride.max(1))
                 .collect();
-            seen_test_windows.extend(test.windows(data_cfg));
+            if !self.cursor.started {
+                seen_test_windows.extend(test.windows(data_cfg));
+                self.cursor.started = true;
+            }
             // Evaluate on an even subsample so late-stream evaluations
             // don't dominate the run time.
             let test_windows = subsample(&seen_test_windows, 600);
@@ -327,30 +612,61 @@ impl ContinualTrainer {
                 self.config.epochs_incremental
             };
 
-            let mut loss_curve = Vec::with_capacity(epochs);
             let mut train_watch = Stopwatch::new();
-            for _epoch in 0..epochs {
+            while self.cursor.epoch < epochs {
                 let _epoch_sp = urcl_trace::span("epoch");
                 train_watch.start();
-                let mut order: Vec<usize> = (0..train_windows.len()).collect();
-                self.rng.shuffle(&mut order);
-                let mut epoch_loss = 0.0;
-                let mut batches = 0;
-                for chunk in order.chunks(self.config.batch_size) {
-                    let _step_sp = urcl_trace::span("step");
-                    let samples: Vec<Sample> =
-                        chunk.iter().map(|&i| train_windows[i].clone()).collect();
-                    let loss =
-                        self.train_step(backbone, simsiam, store, &mut opt, net, &samples);
-                    epoch_loss += loss;
-                    batches += 1;
+                if !self.cursor.order_valid {
+                    let mut order: Vec<usize> = (0..train_windows.len()).collect();
+                    self.rng.shuffle(&mut order);
+                    self.cursor.order = order;
+                    self.cursor.order_valid = true;
+                    self.cursor.step = 0;
+                    self.cursor.epoch_loss = 0.0;
+                    self.cursor.batches = 0;
+                }
+                let batch = self.config.batch_size.max(1);
+                let num_chunks = self.cursor.order.len().div_ceil(batch);
+                while self.cursor.step < num_chunks {
+                    let step_sp = urcl_trace::span("step");
+                    let lo = self.cursor.step * batch;
+                    let hi = (lo + batch).min(self.cursor.order.len());
+                    let samples: Vec<Sample> = self.cursor.order[lo..hi]
+                        .to_vec()
+                        .into_iter()
+                        .map(|i| train_windows[i].clone())
+                        .collect();
+                    let outcome = self.train_step(backbone, simsiam, store, net, &samples);
+                    self.cursor.epoch_loss += outcome.loss;
+                    self.cursor.batches += 1;
+                    self.cursor.step += 1;
+                    self.cursor.global_step += 1;
+                    drop(step_sp);
+                    let info = StepInfo {
+                        global_step: self.cursor.global_step,
+                        period: pi,
+                        epoch: self.cursor.epoch,
+                        step_in_epoch: self.cursor.step,
+                        loss: outcome.loss,
+                        rmir_ran: outcome.rmir_ran,
+                        replay_inserted: outcome.replay_inserted,
+                        replay_len: self.buffer.len(),
+                    };
+                    if hook.after_step(&info) == HookAction::Stop {
+                        train_watch.stop();
+                        return RunOutcome::Paused;
+                    }
                 }
                 train_watch.stop();
-                loss_curve.push(if batches > 0 {
-                    epoch_loss / batches as f32
+                self.cursor.loss_curve.push(if self.cursor.batches > 0 {
+                    self.cursor.epoch_loss / self.cursor.batches as f32
                 } else {
                     0.0
                 });
+                self.cursor.epoch += 1;
+                self.cursor.order_valid = false;
+                self.cursor.order.clear();
+                self.cursor.step = 0;
             }
 
             // Regularization-based CL: anchor the parameters learned on
@@ -367,6 +683,7 @@ impl ContinualTrainer {
 
             let (metrics, infer_per_obs) = evaluate(backbone, store, &test_windows);
             let (mae, rmse) = metrics.scaled(scale);
+            let loss_curve = std::mem::take(&mut self.cursor.loss_curve);
             if urcl_trace::enabled() {
                 urcl_trace::gauge_set("replay.occupancy", self.buffer.len() as f64);
                 urcl_trace::record_period(urcl_trace::PeriodRecord {
@@ -383,7 +700,7 @@ impl ContinualTrainer {
                         - rmir_selected_before,
                 });
             }
-            sets.push(SetReport {
+            self.cursor.sets.push(SetReport {
                 name: period.name.clone(),
                 mae,
                 rmse,
@@ -392,28 +709,38 @@ impl ContinualTrainer {
                 infer_seconds_per_obs: infer_per_obs,
                 loss_curve,
             });
+            self.cursor.period += 1;
+            self.cursor.started = false;
+            self.cursor.epoch = 0;
+            let report = self.cursor.sets.last().expect("just pushed");
+            if hook.after_period(pi, report) == HookAction::Stop
+                && self.cursor.period < periods.len()
+            {
+                return RunOutcome::Paused;
+            }
         }
 
-        RunReport {
+        let sets = std::mem::take(&mut self.cursor.sets);
+        self.cursor = TrainCursor::default();
+        RunOutcome::Completed(RunReport {
             model: backbone.name().to_string(),
             strategy: self.config.strategy.name().to_string(),
             sets,
-        }
+        })
     }
 
-    /// One optimisation step on a chunk of training windows. Returns the
-    /// total loss value.
+    /// One optimisation step on a chunk of training windows.
     fn train_step(
         &mut self,
         backbone: &dyn Backbone,
         simsiam: Option<&StSimSiam>,
         store: &mut ParamStore,
-        opt: &mut Adam,
         net: &SensorNetwork,
         chunk: &[Sample],
-    ) -> f32 {
+    ) -> StepOutcome {
         let current = stack_samples(chunk);
         let is_urcl = self.config.strategy == Strategy::Urcl;
+        let mut rmir_ran = false;
         urcl_trace::counter_inc("train.steps");
 
         // --- Data integration (Fig. 1 left): replay + STMixup. ---
@@ -426,7 +753,7 @@ impl ContinualTrainer {
                     self.buffer.len(),
                     self.config.rmir_pool.min(self.buffer.len()),
                 );
-                rmir_sample(
+                let picked = rmir_sample(
                     &self.buffer,
                     &pool,
                     &current,
@@ -435,7 +762,10 @@ impl ContinualTrainer {
                     self.config.lr,
                     self.config.rmir_candidates,
                     select,
-                )
+                );
+                rmir_ran = true;
+                self.rmir_stats.record_round(picked.len());
+                picked
             } else {
                 self.rng
                     .sample_indices(self.buffer.len(), select.min(self.buffer.len()))
@@ -510,14 +840,21 @@ impl ContinualTrainer {
             let _optim_sp = urcl_trace::span("optim");
             store.accumulate_grads(&binds, &grads);
             store.clip_grad_norm(self.config.clip_norm);
-            opt.step(store);
+            self.opt.step(store);
         }
 
         // The buffer keeps the *original* observations (Section IV-B).
-        if is_urcl {
+        let replay_inserted = if is_urcl {
             self.buffer.extend(chunk);
+            chunk.len()
+        } else {
+            0
+        };
+        StepOutcome {
+            loss: loss_value,
+            rmir_ran,
+            replay_inserted,
         }
-        loss_value
     }
 }
 

@@ -197,8 +197,10 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 fn write_number(out: &mut String, n: f64) {
     if !n.is_finite() {
         out.push_str("null");
-    } else if n == n.trunc() && n.abs() < 1e15 {
-        // Integers print without an exponent or trailing ".0".
+    } else if n == n.trunc() && n.abs() < 1e15 && !(n == 0.0 && n.is_sign_negative()) {
+        // Integers print without an exponent or trailing ".0". Negative
+        // zero is excluded: `n as i64` would print "0" and lose the sign
+        // bit, breaking bitwise checkpoint round-trips.
         let _ = write!(out, "{}", n as i64);
     } else {
         // `{}` on f64 is the shortest representation that round-trips.
@@ -601,6 +603,16 @@ mod tests {
     fn non_finite_serializes_as_null() {
         assert_eq!(Value::Num(f64::NAN).to_string_compact(), "null");
         assert_eq!(Value::Num(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        let text = Value::Num(-0.0).to_string_compact();
+        assert_eq!(text, "-0");
+        let back = Value::parse(&text).unwrap().as_f64().unwrap();
+        assert!(back == 0.0 && back.is_sign_negative(), "{back}");
+        // And positive zero still prints as a plain integer.
+        assert_eq!(Value::Num(0.0).to_string_compact(), "0");
     }
 
     #[test]

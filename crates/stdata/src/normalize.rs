@@ -37,6 +37,31 @@ impl Normalizer {
         Self { mins, maxs }
     }
 
+    /// Rebuilds a normalizer from checkpointed statistics. The vectors
+    /// must be per-channel pairs with `min < max` (as [`Self::fit`]
+    /// guarantees, including for degenerate channels).
+    pub fn from_stats(mins: Vec<f32>, maxs: Vec<f32>) -> Self {
+        assert_eq!(mins.len(), maxs.len(), "mins/maxs must pair per channel");
+        assert!(!mins.is_empty(), "normalizer needs at least one channel");
+        for (ch, (lo, hi)) in mins.iter().zip(&maxs).enumerate() {
+            assert!(
+                lo.is_finite() && hi.is_finite() && lo < hi,
+                "channel {ch} stats invalid: min {lo}, max {hi}"
+            );
+        }
+        Self { mins, maxs }
+    }
+
+    /// Per-channel minima (checkpoint serialization).
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// Per-channel maxima (checkpoint serialization).
+    pub fn maxs(&self) -> &[f32] {
+        &self.maxs
+    }
+
     /// Number of channels.
     pub fn num_channels(&self) -> usize {
         self.mins.len()
@@ -61,6 +86,24 @@ impl Normalizer {
         for (i, v) in out.data_mut().iter_mut().enumerate() {
             let ch = i % c;
             *v = ((*v - self.mins[ch]) / (self.maxs[ch] - self.mins[ch])).clamp(0.0, 1.0);
+        }
+        out
+    }
+
+    /// Maps a normalized `[.., C]`-last tensor back to physical units on
+    /// every channel — the inverse of [`Self::transform`] for data that
+    /// was inside the fitted range (clamped values are not recoverable).
+    pub fn inverse_transform(&self, series: &Tensor) -> Tensor {
+        let c = self.num_channels();
+        assert_eq!(
+            series.shape().last(),
+            Some(&c),
+            "last axis must be the channel axis"
+        );
+        let mut out = series.clone();
+        for (i, v) in out.data_mut().iter_mut().enumerate() {
+            let ch = i % c;
+            *v = *v * (self.maxs[ch] - self.mins[ch]) + self.mins[ch];
         }
         out
     }
@@ -118,6 +161,61 @@ mod tests {
         for (a, b) in back.data().iter().zip(orig.data()) {
             assert!((a - b).abs() < 1e-4);
         }
+    }
+
+    /// ULP distance between two finite f32s (0 = bitwise identical).
+    fn ulp_distance(a: f32, b: f32) -> u32 {
+        // Map the sign-magnitude bit pattern onto a monotonic integer line.
+        fn key(x: f32) -> i64 {
+            let bits = x.to_bits() as i32;
+            (if bits < 0 { i32::MIN.wrapping_sub(bits) } else { bits }) as i64
+        }
+        (key(a) - key(b)).unsigned_abs().min(u32::MAX as u64) as u32
+    }
+
+    #[test]
+    fn inverse_transform_roundtrips_within_one_ulp() {
+        // In-range data (no clamping): denormalize ∘ normalize must be the
+        // identity to within one ulp per element.
+        let mut rng = urcl_tensor::Rng::seed_from_u64(17);
+        let mut data = Vec::new();
+        for i in 0..4 * 5 * 2 {
+            let base = if i % 2 == 0 { 60.0 } else { 900.0 };
+            data.push(base * (0.1 + 0.9 * rng.uniform()));
+        }
+        let s = Tensor::from_vec(data, &[4, 5, 2]);
+        let norm = Normalizer::fit(&s);
+        let back = norm.inverse_transform(&norm.transform(&s));
+        for (i, (a, b)) in back.data().iter().zip(s.data()).enumerate() {
+            assert!(
+                ulp_distance(*a, *b) <= 1,
+                "element {i}: {a} vs {b} differ by more than 1 ulp"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip_through_from_stats_is_bitwise() {
+        let s = series();
+        let norm = Normalizer::fit(&s);
+        let rebuilt =
+            Normalizer::from_stats(norm.mins().to_vec(), norm.maxs().to_vec());
+        for ch in 0..norm.num_channels() {
+            assert_eq!(norm.mins()[ch].to_bits(), rebuilt.mins()[ch].to_bits());
+            assert_eq!(norm.maxs()[ch].to_bits(), rebuilt.maxs()[ch].to_bits());
+        }
+        // Identical statistics ⇒ identical transforms, bit for bit.
+        let a = norm.transform(&s);
+        let b = rebuilt.transform(&s);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stats invalid")]
+    fn from_stats_rejects_inverted_range() {
+        let _ = Normalizer::from_stats(vec![1.0], vec![0.5]);
     }
 
     #[test]

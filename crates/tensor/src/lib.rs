@@ -44,7 +44,7 @@ pub mod shape;
 pub mod tensor;
 
 pub use autodiff::{Session, Tape, Var};
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, Sgd};
 pub use parallel::{num_threads, parallel_for, pool_stats, reset_pool_stats, set_threads, PoolStats};
 pub use params::{ParamId, ParamStore};
 pub use rng::Rng;

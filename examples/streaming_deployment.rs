@@ -8,10 +8,12 @@
 //! Simulates a production loop: periods of sensor data arrive one at a
 //! time; after each, the pipeline trains continually (replay + RMIR +
 //! STMixup + STSimSiam under the hood), produces a live forecast, and
-//! checkpoints itself to disk. A second pipeline instance then restores
-//! the checkpoint and must forecast identically.
+//! checkpoints its *full* state — weights, Adam moments, replay buffer,
+//! RNG, normalizer — through the crash-safe `CheckpointDir` rotation. A
+//! second pipeline instance then resumes from disk and must forecast
+//! identically.
 
-use urcl::core::{load_checkpoint, save_checkpoint, TrainerConfig, UrclPipeline};
+use urcl::core::{CheckpointDir, TrainerConfig, UrclPipeline};
 use urcl::stdata::{DatasetConfig, SyntheticDataset};
 
 fn main() {
@@ -28,7 +30,10 @@ fn main() {
     };
     let mut pipeline = UrclPipeline::new(ds.network.clone(), ds.config.clone(), trainer_cfg, 7);
 
-    let ckpt_path = std::env::temp_dir().join("urcl-deployment.ckpt.json");
+    // Atomic latest/previous rotation: a crash mid-save never loses the
+    // last good checkpoint.
+    let ckpt_dir = std::env::temp_dir().join("urcl-deployment-ckpts");
+    let slots = CheckpointDir::new(&ckpt_dir).expect("checkpoint dir");
     println!("{:<8} {:>8} {:>8}   live forecast (first 4 sensors, mph)", "period", "MAE", "RMSE");
 
     for period in split.all_periods() {
@@ -52,21 +57,22 @@ fn main() {
             preview.join(", ")
         );
 
-        // 3. Checkpoint after every period.
-        save_checkpoint(&ckpt_path, "deployment walkthrough", pipeline.store())
+        // 3. Checkpoint the full pipeline state after every period.
+        pipeline
+            .save_checkpoint(&slots, &format!("after {}", report.name))
             .expect("checkpoint write");
     }
 
-    // Disaster recovery: a fresh process restores the checkpoint and
-    // produces bit-identical forecasts.
-    let ckpt = load_checkpoint(&ckpt_path).expect("checkpoint read");
+    // Disaster recovery: a fresh process (note the different seed — its
+    // own initial state is irrelevant) resumes from disk and produces
+    // bit-identical forecasts. Had the crash happened mid-save, `load()`
+    // would fall back to the `previous` checkpoint automatically.
     let trainer_cfg = TrainerConfig::default();
-    let mut restored = UrclPipeline::new(ds.network.clone(), ds.config.clone(), trainer_cfg, 7);
-    // Re-fit the normalizer by replaying the base period statistics, then
-    // adopt the trained weights.
-    let base = &split.base.series;
-    restored.observe_period_statistics_only(base);
-    restored.restore(&ckpt.store);
+    let mut restored =
+        UrclPipeline::new(ds.network.clone(), ds.config.clone(), trainer_cfg, 999);
+    restored
+        .resume_from(slots.load().expect("checkpoint read"))
+        .expect("checkpoint matches the model");
 
     let m = ds.config.input_steps;
     let last = split.all_periods().last().unwrap().series.clone();
@@ -76,5 +82,5 @@ fn main() {
     let b = restored.forecast(&window);
     assert_eq!(a, b, "restored pipeline must forecast identically");
     println!("\ncheckpoint restored; forecasts identical ✓");
-    std::fs::remove_file(&ckpt_path).ok();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
 }

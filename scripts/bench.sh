@@ -7,9 +7,14 @@
 # (per-stage spans, per-period errors, disabled-tracing overhead probe)
 # and validates it through the in-tree JSON parser. Pass --quick for a
 # fast smoke run.
+#
+# Also runs bench_checkpoint, which times full-pipeline (v2) and
+# params-only checkpoint saves/loads through the atomic latest/previous
+# rotation and writes BENCH_checkpoint.json (latency + document size).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release --offline -p urcl-bench
 ./target/release/bench_framework "$@" --trace BENCH_trace.json
-./target/release/validate_json BENCH_trace.json
+./target/release/bench_checkpoint "$@"
+./target/release/validate_json BENCH_trace.json BENCH_checkpoint.json
 exec ./target/release/bench_tensor_ops "$@"

@@ -23,6 +23,12 @@ cargo build --release --offline
 echo "== tests =="
 cargo test -q --offline
 
+echo "== crash/resume fault injection (release) =="
+# The kill/resume harness re-runs the tiny pipeline once per step
+# boundary, so it runs in release; the timeout is a wall-clock budget
+# guarding against a resume loop that stops making progress.
+timeout 600 cargo test -q --offline --release --test crash_resume
+
 if [[ "$FULL" == 1 ]]; then
   echo "== full-size integration tests (ignored set) =="
   cargo test -q --offline --test end_to_end --test backbones -- --ignored
