@@ -1,0 +1,165 @@
+//! Serving-throughput micro-benchmark: measures the batched inference
+//! server end to end — request submission, coalescing, fused forward,
+//! denormalization — across batch sizes and thread counts. Prints a
+//! table and writes `BENCH_serve.json` at the workspace root.
+//!
+//! The served model is real: a tiny URCL pipeline trains on one
+//! streaming period and publishes a v2 checkpoint; the server cold-loads
+//! it exactly as a production inference tier would. For each
+//! (threads, max_batch) cell, closed-loop clients (one per batch slot)
+//! hammer the server and we record sustained requests/second plus
+//! client-observed p50/p95/p99 latency. Trace histograms bucket by
+//! decade, so the percentiles here are computed client-side from the
+//! exact samples.
+//!
+//! Usage: `bench_serve [--quick]`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use urcl_core::{CheckpointDir, TrainerConfig, UrclPipeline};
+use urcl_json::Value;
+use urcl_models::GraphWaveNet;
+use urcl_serve::{BatchPolicy, ServeConfig, Server};
+use urcl_stdata::{DatasetConfig, SyntheticDataset};
+use urcl_tensor::Tensor;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// One benchmark cell: `clients` closed-loop threads, each issuing
+/// `reqs_per_client` requests. Returns (throughput req/s, p50/p95/p99 ms).
+fn run_cell(
+    server: &Arc<Server<GraphWaveNet>>,
+    windows: &[Tensor],
+    clients: usize,
+    reqs_per_client: usize,
+) -> (f64, f64, f64, f64) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = Arc::clone(server);
+            let windows: Vec<Tensor> = windows.to_vec();
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(reqs_per_client);
+                for i in 0..reqs_per_client {
+                    let w = &windows[(c + i) % windows.len()];
+                    let q0 = Instant::now();
+                    server.predict(w).expect("served");
+                    lat.push(q0.elapsed().as_secs_f64());
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let n = latencies.len() as f64;
+    (
+        n / wall,
+        percentile(&latencies, 0.50) * 1e3,
+        percentile(&latencies, 0.95) * 1e3,
+        percentile(&latencies, 0.99) * 1e3,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reqs_per_client = if quick { 40 } else { 200 };
+
+    // Train one period and publish the checkpoint the server will load.
+    let mut cfg = DatasetConfig::metr_la().tiny();
+    cfg.num_days = 2;
+    let ds = SyntheticDataset::generate(cfg);
+    let trainer_cfg = TrainerConfig {
+        epochs_base: 1,
+        epochs_incremental: 1,
+        window_stride: 8,
+        ..TrainerConfig::default()
+    };
+    let mut pipe = UrclPipeline::new(ds.network.clone(), ds.config.clone(), trainer_cfg.clone(), 7);
+    let split = ds.continual_split(1);
+    pipe.observe_period(split.base.series.clone());
+
+    let dir_path = std::env::temp_dir().join(format!("urcl-bench-serve-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir_path).ok();
+    let slots = CheckpointDir::new(&dir_path).expect("checkpoint dir");
+    pipe.save_checkpoint(&slots, "bench_serve").expect("publish");
+
+    let m = ds.config.input_steps;
+    let starts = split.base.series.shape()[0] - m + 1;
+    let windows: Vec<Tensor> = (0..32)
+        .map(|i| split.base.series.narrow(0, (i * 2) % starts, m))
+        .collect();
+
+    let batch_sizes = [1usize, 4, 8, 16];
+    let thread_counts = [1usize, 4];
+    let mut cells = Vec::new();
+    println!(
+        "{:>7} {:>9} {:>12} {:>9} {:>9} {:>9}",
+        "threads", "max_batch", "req/s", "p50 ms", "p95 ms", "p99 ms"
+    );
+    for &threads in &thread_counts {
+        let prev = urcl_tensor::set_threads(threads);
+        for &max_batch in &batch_sizes {
+            let (model, template) =
+                UrclPipeline::serving_parts(&ds.network, &ds.config, &trainer_cfg);
+            let server = Arc::new(Server::start(
+                model,
+                template,
+                CheckpointDir::new(&dir_path).expect("checkpoint dir"),
+                ServeConfig {
+                    policy: BatchPolicy {
+                        max_batch,
+                        max_delay: Duration::from_millis(1),
+                    },
+                    target_channel: ds.config.target_channel,
+                    reload_interval: None,
+                },
+            ));
+            assert!(server.has_snapshot(), "server must load the checkpoint");
+            // Warm-up: populate caches and spin the worker once.
+            run_cell(&server, &windows, max_batch.max(1), 10);
+            let (rps, p50, p95, p99) =
+                run_cell(&server, &windows, max_batch.max(1), reqs_per_client);
+            let stats = server.stats();
+            println!(
+                "{threads:>7} {max_batch:>9} {rps:>12.1} {p50:>9.3} {p95:>9.3} {p99:>9.3}"
+            );
+            cells.push(
+                Value::object()
+                    .with("threads", threads)
+                    .with("max_batch", max_batch)
+                    .with("requests_per_sec", rps)
+                    .with("p50_ms", p50)
+                    .with("p95_ms", p95)
+                    .with("p99_ms", p99)
+                    .with("batches", stats.batches)
+                    .with("largest_batch", stats.max_batch),
+            );
+        }
+        urcl_tensor::set_threads(prev);
+    }
+    std::fs::remove_dir_all(&dir_path).ok();
+
+    let doc = Value::object()
+        .with("schema", "urcl-bench-serve-v1")
+        .with("quick", quick)
+        .with("reqs_per_client", reqs_per_client)
+        .with("num_nodes", ds.config.num_nodes)
+        .with("input_steps", ds.config.input_steps)
+        .with("horizon", ds.config.output_steps)
+        .with("cells", Value::Array(cells));
+    let out = "BENCH_serve.json";
+    std::fs::write(out, doc.to_string_pretty()).expect("write report");
+    println!("wrote {out}");
+}

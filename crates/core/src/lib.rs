@@ -22,6 +22,8 @@
 //! Algorithm 1, and also implements the paper's comparison strategies
 //! (OneFitAll, FinetuneST) and the four ablations of Fig. 6.
 
+#![warn(missing_docs)]
+
 pub mod augment;
 pub mod ewc;
 pub mod metrics;
@@ -40,7 +42,7 @@ pub use metrics::{mae, rmse, Metrics};
 pub use mixup::st_mixup;
 pub use persist::{
     load_checkpoint, load_checkpoint_into, save_checkpoint, save_full_checkpoint,
-    Checkpoint, CheckpointDir, PersistError, PipelineState,
+    Checkpoint, CheckpointDir, CheckpointFingerprint, PersistError, PipelineState,
 };
 pub use pipeline::UrclPipeline;
 pub use replay::ReplayBuffer;

@@ -66,6 +66,18 @@ pub struct Checkpoint {
     pub pipeline: Option<PipelineState>,
 }
 
+impl Checkpoint {
+    /// The normalizer statistics carried in the pipeline section, if any.
+    ///
+    /// This is the piece an inference server needs beyond the parameters:
+    /// requests arrive in physical units, the model speaks normalized
+    /// units, and the checkpoint is the only place the mapping between
+    /// the two is recorded (`urcl-serve` builds its snapshots from it).
+    pub fn normalizer(&self) -> Option<&Normalizer> {
+        self.pipeline.as_ref().and_then(|p| p.normalizer.as_ref())
+    }
+}
+
 impl std::fmt::Debug for Checkpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Checkpoint")
@@ -604,6 +616,17 @@ pub fn copy_store_checked(
 
 // ----------------------------------------------------- atomic durability
 
+/// Identity of one published `latest.ckpt`: equal fingerprints mean the
+/// checkpoint has not been replaced since it was last inspected. See
+/// [`CheckpointDir::fingerprint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointFingerprint {
+    /// Document size in bytes.
+    pub len: u64,
+    /// Filesystem modification time of `latest.ckpt`.
+    pub modified: std::time::SystemTime,
+}
+
 /// A checkpoint directory with crash-safe rotation.
 ///
 /// Saves follow the classic atomic protocol: the document is written to a
@@ -675,6 +698,22 @@ impl CheckpointDir {
         }
         record_save_metrics(text.len());
         Ok(text.len() as u64)
+    }
+
+    /// Cheap change-detection fingerprint of `latest.ckpt` (byte length +
+    /// modification time), or `None` when no `latest` exists yet.
+    ///
+    /// A poller (such as the `urcl-serve` hot-reload thread) compares
+    /// fingerprints between ticks and only pays for a full
+    /// [`CheckpointDir::load`] when the trainer has actually published a
+    /// new checkpoint. Because saves go through an atomic rename, a
+    /// changed fingerprint always refers to a *complete* document.
+    pub fn fingerprint(&self) -> Option<CheckpointFingerprint> {
+        let meta = std::fs::metadata(self.latest_path()).ok()?;
+        Some(CheckpointFingerprint {
+            len: meta.len(),
+            modified: meta.modified().ok()?,
+        })
     }
 
     /// Loads the newest loadable checkpoint: `latest.ckpt`, falling back

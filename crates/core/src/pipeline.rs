@@ -49,17 +49,7 @@ impl UrclPipeline {
             data_cfg.num_nodes,
             "network and dataset config disagree on node count"
         );
-        let mut store = ParamStore::new();
-        let mut rng = Rng::seed_from_u64(seed);
-        let gwn_cfg = GwnConfig::small(
-            data_cfg.num_nodes,
-            data_cfg.num_channels(),
-            data_cfg.input_steps,
-            data_cfg.output_steps,
-        );
-        let latent = gwn_cfg.base.latent;
-        let model = GraphWaveNet::new(&mut store, &mut rng, &network, gwn_cfg);
-        let simsiam = StSimSiam::new(&mut store, &mut rng, latent, latent, trainer_cfg.tau);
+        let (model, simsiam, store) = Self::build_model(&network, &data_cfg, &trainer_cfg, seed);
         let trainer = ContinualTrainer::new(trainer_cfg);
         Self {
             data_cfg,
@@ -71,6 +61,49 @@ impl UrclPipeline {
             normalizer: None,
             periods_seen: 0,
         }
+    }
+
+    /// Constructs the pipeline's model pair and parameter store. The
+    /// *layout* (parameter names and shapes) depends only on the configs,
+    /// never on `seed` — which is what makes checkpoints portable across
+    /// processes.
+    fn build_model(
+        network: &SensorNetwork,
+        data_cfg: &DatasetConfig,
+        trainer_cfg: &TrainerConfig,
+        seed: u64,
+    ) -> (GraphWaveNet, StSimSiam, ParamStore) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from_u64(seed);
+        let gwn_cfg = GwnConfig::small(
+            data_cfg.num_nodes,
+            data_cfg.num_channels(),
+            data_cfg.input_steps,
+            data_cfg.output_steps,
+        );
+        let latent = gwn_cfg.base.latent;
+        let model = GraphWaveNet::new(&mut store, &mut rng, network, gwn_cfg);
+        let simsiam = StSimSiam::new(&mut store, &mut rng, latent, latent, trainer_cfg.tau);
+        (model, simsiam, store)
+    }
+
+    /// The backbone + parameter-layout template an **inference server**
+    /// needs to load this pipeline's checkpoints in another process: the
+    /// identical architecture, built with an arbitrary seed. Loading a
+    /// checkpoint overwrites every parameter value; only the layout —
+    /// names and shapes, which [`persist::copy_store_checked`] validates —
+    /// must match, and that is fully determined by the two configs.
+    ///
+    /// The returned store also carries the STSimSiam head's parameters
+    /// (they are part of the checkpoint layout even though forward-only
+    /// serving never reads them).
+    pub fn serving_parts(
+        network: &SensorNetwork,
+        data_cfg: &DatasetConfig,
+        trainer_cfg: &TrainerConfig,
+    ) -> (GraphWaveNet, ParamStore) {
+        let (model, _simsiam, store) = Self::build_model(network, data_cfg, trainer_cfg, 0);
+        (model, store)
     }
 
     /// Number of streaming periods consumed so far.

@@ -1,0 +1,71 @@
+//! # urcl-serve
+//!
+//! A batched CPU inference runtime for URCL forecasters — the *answering*
+//! half of the paper's deployment story, where the *learning* half is the
+//! continual trainer in `urcl-core`.
+//!
+//! A [`Server`] owns a forward-only view of any [`urcl_models::Backbone`]:
+//! callers submit per-sensor windows of recent observations in physical
+//! units, the server coalesces concurrent requests into batches under a
+//! [`BatchPolicy`] (`max_batch`/`max_delay`), runs one batched forward
+//! pass on the shared tensor thread pool, and returns denormalized
+//! horizon forecasts. Model weights and normalizer statistics come from
+//! `urcl-ckpt-v2` checkpoints in a [`urcl_core::CheckpointDir`] — the
+//! very directory a still-running [`urcl_core::UrclPipeline`] trainer
+//! writes into — and can be **hot-swapped** without dropping requests:
+//!
+//! * a reload (manual [`Server::reload_now`] or the background poller
+//!   enabled by [`ServeConfig::reload_interval`]) validates the new
+//!   checkpoint against the model's parameter layout, then atomically
+//!   swaps an [`std::sync::Arc`]`<`[`ModelSnapshot`]`>` between batches;
+//! * every batch captures the `Arc` once before running, so in-flight
+//!   requests always complete on the snapshot they started with;
+//! * torn or unloadable checkpoints never take the server down — the old
+//!   snapshot keeps serving and the rotation's `previous` slot is used as
+//!   a fallback (see DESIGN.md §10 for the full protocol).
+//!
+//! The whole path is instrumented with `urcl-trace`: a
+//! `serve.queue_depth` gauge, `serve.batch_size` and
+//! `serve.latency_seconds` histograms, and `serve.swaps` /
+//! `serve.requests` / `serve.batches` / `serve.reload_failures` counters.
+//! `bench_serve` (in `crates/bench`) sweeps batch sizes and thread counts
+//! over this runtime and writes `BENCH_serve.json`.
+//!
+//! ## Quick use
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use urcl_core::CheckpointDir;
+//! use urcl_models::{GraphWaveNet, GwnConfig};
+//! use urcl_serve::{ServeConfig, Server};
+//! use urcl_tensor::{ParamStore, Rng, Tensor};
+//!
+//! // Rebuild the *architecture* the trainer used (weights come from disk).
+//! let mut template = ParamStore::new();
+//! let mut rng = Rng::seed_from_u64(0);
+//! let network = urcl_graph::random_geometric(24, 0.3, &mut rng);
+//! let model = GraphWaveNet::new(&mut template, &mut rng, &network,
+//!     GwnConfig::small(24, 2, 12, 1));
+//!
+//! let config = ServeConfig {
+//!     reload_interval: Some(Duration::from_millis(500)), // follow the trainer
+//!     ..ServeConfig::default()
+//! };
+//! let server = Server::start(model, template,
+//!     CheckpointDir::new("ckpts").unwrap(), config);
+//! let window = Tensor::zeros(&[12, 24, 2]); // [M, N, C], physical units
+//! let forecast = server.predict(&window).unwrap();
+//! println!("horizon forecast {:?} from snapshot generation {}",
+//!     forecast.prediction.shape(), forecast.generation);
+//! ```
+
+#![warn(missing_docs)]
+
+mod server;
+mod snapshot;
+
+pub use server::{
+    forward_batch, BatchPolicy, Forecast, PendingForecast, ServeConfig, ServeError, Server,
+    ServerStats,
+};
+pub use snapshot::ModelSnapshot;

@@ -1,0 +1,90 @@
+//! Immutable model snapshots: the unit of hot-swap.
+
+use urcl_core::persist::{copy_store_checked, Checkpoint};
+use urcl_stdata::Normalizer;
+use urcl_tensor::ParamStore;
+
+use crate::server::ServeError;
+
+/// One immutable, self-contained serving state: trained parameters plus
+/// the normalizer statistics that map physical units into the model's
+/// normalized input space and back.
+///
+/// Snapshots are built from `urcl-ckpt-v2` checkpoints, validated against
+/// the server's parameter-layout template, and shared behind an
+/// [`std::sync::Arc`]: a hot-swap replaces which snapshot *new* batches
+/// see, while any batch already holding the `Arc` finishes on the old
+/// one. A snapshot is never mutated after construction.
+pub struct ModelSnapshot {
+    store: ParamStore,
+    normalizer: Normalizer,
+    description: String,
+    generation: u64,
+}
+
+impl ModelSnapshot {
+    /// Builds a snapshot from a loaded checkpoint.
+    ///
+    /// `template` supplies the expected parameter layout (the same
+    /// architecture the server's backbone was constructed against); the
+    /// checkpoint must match it exactly (count, names, shapes) and must
+    /// carry normalizer statistics — i.e. be a full-pipeline (v2) save,
+    /// not a params-only one.
+    pub fn from_checkpoint(
+        ckpt: &Checkpoint,
+        template: &ParamStore,
+        generation: u64,
+    ) -> Result<Self, ServeError> {
+        let normalizer = ckpt
+            .normalizer()
+            .ok_or_else(|| {
+                ServeError::Reload(
+                    "checkpoint carries no normalizer statistics (params-only save?)"
+                        .to_string(),
+                )
+            })?
+            .clone();
+        let mut store = template.clone();
+        copy_store_checked(&ckpt.store, &mut store)
+            .map_err(|e| ServeError::Reload(e.to_string()))?;
+        Ok(Self {
+            store,
+            normalizer,
+            description: ckpt.description.clone(),
+            generation,
+        })
+    }
+
+    /// The trained parameters this snapshot serves with.
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// The normalizer mapping physical units to model space and back.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// The checkpoint's free-form description (e.g. "after I3_set").
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Monotonic swap counter: each successful reload publishes a
+    /// snapshot with a higher generation, so responses can be traced back
+    /// to the checkpoint that produced them.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+impl std::fmt::Debug for ModelSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelSnapshot")
+            .field("generation", &self.generation)
+            .field("description", &self.description)
+            .field("params", &self.store.len())
+            .field("channels", &self.normalizer.num_channels())
+            .finish()
+    }
+}

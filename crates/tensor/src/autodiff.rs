@@ -31,47 +31,89 @@ pub enum Op {
     Leaf,
     /// Non-trainable input (data, masks, adjacency matrices).
     Constant,
+    /// Broadcasting elementwise `a + b`.
     Add(usize, usize),
+    /// Broadcasting elementwise `a - b`.
     Sub(usize, usize),
+    /// Broadcasting elementwise `a * b`.
     Mul(usize, usize),
+    /// Broadcasting elementwise `a / b`.
     Div(usize, usize),
+    /// Elementwise negation `-a`.
     Neg(usize),
+    /// Multiplication by a compile-time scalar: `a * c`.
     Scale(usize, f32),
+    /// Addition of a compile-time scalar: `a + c`.
     AddScalar(usize, f32),
+    /// Elementwise power with a scalar exponent: `a^c`.
     PowF(usize, f32),
+    /// Elementwise `exp(a)`.
     Exp(usize),
+    /// Elementwise natural logarithm `ln(a)`.
     Ln(usize),
+    /// Elementwise square root.
     Sqrt(usize),
+    /// Elementwise absolute value (subgradient 0 at the kink).
     Abs(usize),
+    /// Rectified linear unit `max(a, 0)`.
     Relu(usize),
+    /// Leaky ReLU with the given negative-side slope.
     LeakyRelu(usize, f32),
+    /// Logistic sigmoid `1 / (1 + exp(-a))`.
     Sigmoid(usize),
+    /// Hyperbolic tangent.
     Tanh(usize),
+    /// Batched matrix product over the two trailing axes.
     MatMul(usize, usize),
+    /// Axis permutation (generalised transpose); the `Vec` is the
+    /// forward permutation, inverted in the backward rule.
     Permute(usize, Vec<usize>),
+    /// Shape change without data movement; the backward rule reshapes
+    /// the gradient back to the input's shape.
     Reshape(usize),
+    /// Sum-reduction over a set of axes.
     SumAxes {
+        /// Tape index of the reduced tensor.
         input: usize,
+        /// Axes being summed over (ascending, deduplicated).
         axes: Vec<usize>,
+        /// Keep reduced axes as size-1 dims instead of dropping them.
         keepdim: bool,
     },
+    /// Sum of every element, yielding a scalar.
     SumAll(usize),
+    /// Mean of every element, yielding a scalar.
     MeanAll(usize),
+    /// Softmax along one axis: `Softmax(input, axis)`.
     Softmax(usize, usize),
+    /// Concatenation of several tensors along one axis; the backward
+    /// rule narrows the gradient back into per-input slices.
     Concat {
+        /// Tape indices of the concatenated tensors, in order.
         inputs: Vec<usize>,
+        /// Axis along which the inputs were joined.
         axis: usize,
     },
+    /// Contiguous slice `[start, start + len)` along one axis.
     Narrow {
+        /// Tape index of the sliced tensor.
         input: usize,
+        /// Axis being sliced.
         axis: usize,
+        /// First element of the slice along `axis`.
         start: usize,
+        /// Slice length along `axis`.
         len: usize,
     },
+    /// Dilated causal 1-D convolution over the trailing time axis.
     Conv1d {
+        /// Tape index of the `[B, C_in, T]` input.
         input: usize,
+        /// Tape index of the `[C_out, C_in, K]` kernel.
         weight: usize,
+        /// Spacing between kernel taps.
         dilation: usize,
+        /// Zero-padding prepended to the time axis (causality).
         pad_left: usize,
     },
     /// Identity in the forward pass, blocks gradient flow (the paper's

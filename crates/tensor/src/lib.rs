@@ -33,6 +33,8 @@
 //! [`autodiff::Session`] to bind persistent parameters to a fresh tape per
 //! step, and [`optim`] for SGD/Adam updates.
 
+#![warn(missing_docs)]
+
 pub mod autodiff;
 pub mod gemm;
 pub mod gradcheck;

@@ -23,6 +23,8 @@
 //! stage, not per element) so contention is negligible. Each thread keeps
 //! its own path stack, so worker-thread spans nest independently.
 
+#![warn(missing_docs)]
+
 mod metric;
 mod recorder;
 mod span;

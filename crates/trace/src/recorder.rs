@@ -33,6 +33,8 @@ pub struct PeriodRecord {
 }
 
 impl PeriodRecord {
+    /// Serializes the record as a JSON object with one key per field,
+    /// as embedded in the `urcl-trace-v1` snapshot's `periods` array.
     pub fn to_json(&self) -> Value {
         Value::object()
             .with("name", Value::Str(self.name.clone()))

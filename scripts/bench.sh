@@ -10,11 +10,15 @@
 #
 # Also runs bench_checkpoint, which times full-pipeline (v2) and
 # params-only checkpoint saves/loads through the atomic latest/previous
-# rotation and writes BENCH_checkpoint.json (latency + document size).
+# rotation and writes BENCH_checkpoint.json (latency + document size),
+# and bench_serve, which drives the batched inference server across
+# (threads, max_batch) cells and writes BENCH_serve.json (throughput +
+# client-side p50/p95/p99 latency).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release --offline -p urcl-bench
 ./target/release/bench_framework "$@" --trace BENCH_trace.json
 ./target/release/bench_checkpoint "$@"
-./target/release/validate_json BENCH_trace.json BENCH_checkpoint.json
+./target/release/bench_serve "$@"
+./target/release/validate_json BENCH_trace.json BENCH_checkpoint.json BENCH_serve.json
 exec ./target/release/bench_tensor_ops "$@"

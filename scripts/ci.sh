@@ -23,6 +23,14 @@ cargo build --release --offline
 echo "== tests =="
 cargo test -q --offline
 
+echo "== rustdoc (warnings are errors) =="
+# Catches broken intra-doc links and, via the per-crate
+# #![warn(missing_docs)] attributes, any undocumented public item.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+echo "== doc-tests (README + API examples) =="
+cargo test -q --offline --doc --workspace
+
 echo "== crash/resume fault injection (release) =="
 # The kill/resume harness re-runs the tiny pipeline once per step
 # boundary, so it runs in release; the timeout is a wall-clock budget

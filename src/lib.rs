@@ -16,8 +16,17 @@
 //! * [`models`] — GraphWaveNet and the paper's baselines
 //! * [`core`] — the URCL framework itself (replay, RMIR, STMixup,
 //!   augmentations, STSimSiam, continuous trainer)
+//! * [`serve`] — batched inference serving with checkpoint hot-swap
+
+/// Compiles every `rust` code block in the repository README as a doc-test
+/// (`cargo test --doc`), so the quickstart, crash-recovery and serving
+/// snippets can never drift from the real API.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
 
 pub use urcl_core as core;
+pub use urcl_serve as serve;
 pub use urcl_graph as graph;
 pub use urcl_json as json;
 pub use urcl_models as models;
