@@ -55,6 +55,24 @@ fn validate_trace(doc: &Value) -> Result<(), String> {
             }
         }
     }
+    // Dispatch and buffer-pool telemetry: all counters must be present,
+    // numeric and non-negative.
+    let pool = doc.get("pool").expect("checked above");
+    for key in [
+        "par_calls",
+        "inline_calls",
+        "chunks_dispatched",
+        "pool_hit",
+        "pool_miss",
+        "pool_bytes_recycled",
+        "pool_peak_resident_f32",
+    ] {
+        match pool.get(key).and_then(Value::as_f64) {
+            Some(v) if v >= 0.0 => {}
+            Some(v) => return Err(format!("pool counter {key:?} negative: {v}")),
+            None => return Err(format!("pool counter {key:?} missing or non-numeric")),
+        }
+    }
     Ok(())
 }
 

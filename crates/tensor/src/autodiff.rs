@@ -19,6 +19,8 @@
 //! ```
 
 use crate::params::{ParamId, ParamStore};
+use crate::parallel::{par_fill, PAR_MIN_ELEMS};
+use crate::pool;
 use crate::shape::numel;
 use crate::tensor::Tensor;
 use std::cell::RefCell;
@@ -211,6 +213,14 @@ impl Tape {
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
         grads[loss.idx] = Some(Tensor::ones(nodes[loss.idx].value.shape()));
 
+        // With pooling (memory reuse) off, every arm below falls back to
+        // the seed-era kernels: materialize each edge's temporary tensor,
+        // reduce_to_shape even when shapes already match, then accumulate.
+        // The per-element arithmetic of both paths is identical, so the
+        // toggle is a pure before/after switch for allocation behaviour —
+        // `pool_determinism` asserts bitwise equality, `bench_train_step`
+        // measures the speed difference.
+        let reuse = pool::pooling_enabled();
         for i in (0..=loss.idx).rev() {
             let Some(g) = grads[i].take() else { continue };
             let node = &nodes[i];
@@ -220,52 +230,119 @@ impl Tape {
                     continue;
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.reduce_to_shape(nodes[*a].value.shape()));
-                    accumulate(&mut grads, *b, g.reduce_to_shape(nodes[*b].value.shape()));
+                    // Same-shape edges propagate g by reference (one clone
+                    // at most); broadcast edges reduce first as before.
+                    for &inp in &[*a, *b] {
+                        if reuse && nodes[inp].value.shape() == g.shape() {
+                            accumulate_ref(&mut grads, inp, &g);
+                        } else {
+                            accumulate(&mut grads, inp, g.reduce_to_shape(nodes[inp].value.shape()));
+                        }
+                    }
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, *a, g.reduce_to_shape(nodes[*a].value.shape()));
-                    accumulate(
-                        &mut grads,
-                        *b,
-                        g.scale(-1.0).reduce_to_shape(nodes[*b].value.shape()),
-                    );
+                    if reuse && nodes[*a].value.shape() == g.shape() {
+                        accumulate_ref(&mut grads, *a, &g);
+                    } else {
+                        accumulate(&mut grads, *a, g.reduce_to_shape(nodes[*a].value.shape()));
+                    }
+                    if reuse && nodes[*b].value.shape() == g.shape() {
+                        fused_map1(&mut grads, *b, &g, |gv| gv * -1.0);
+                    } else {
+                        accumulate(
+                            &mut grads,
+                            *b,
+                            g.scale(-1.0).reduce_to_shape(nodes[*b].value.shape()),
+                        );
+                    }
                 }
                 Op::Mul(a, b) => {
-                    let ga = g.mul(&nodes[*b].value).reduce_to_shape(nodes[*a].value.shape());
-                    let gb = g.mul(&nodes[*a].value).reduce_to_shape(nodes[*b].value.shape());
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
+                    let av = &nodes[*a].value;
+                    let bv = &nodes[*b].value;
+                    if reuse && av.shape() == g.shape() && bv.shape() == g.shape() {
+                        fused_map2(&mut grads, *a, &g, bv, |gv, b| gv * b);
+                        fused_map2(&mut grads, *b, &g, av, |gv, a| gv * a);
+                    } else {
+                        let ga = g.mul(bv).reduce_to_shape(av.shape());
+                        let gb = g.mul(av).reduce_to_shape(bv.shape());
+                        accumulate(&mut grads, *a, ga);
+                        accumulate(&mut grads, *b, gb);
+                    }
                 }
                 Op::Div(a, b) => {
+                    let av = &nodes[*a].value;
                     let bv = &nodes[*b].value;
-                    let ga = g.div(bv).reduce_to_shape(nodes[*a].value.shape());
-                    // d/db (a/b) = -a / b^2
-                    let gb = g
-                        .mul(&nodes[*a].value)
-                        .div(&bv.mul(bv))
-                        .scale(-1.0)
-                        .reduce_to_shape(nodes[*b].value.shape());
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
+                    if reuse && av.shape() == g.shape() && bv.shape() == g.shape() {
+                        fused_map2(&mut grads, *a, &g, bv, |gv, b| gv / b);
+                        // d/db (a/b) = -a / b^2, with the exact expression
+                        // tree of the old temporary chain.
+                        fused_map3(&mut grads, *b, &g, av, bv, |gv, a, b| {
+                            ((gv * a) / (b * b)) * -1.0
+                        });
+                    } else {
+                        let ga = g.div(bv).reduce_to_shape(av.shape());
+                        let gb = g
+                            .mul(av)
+                            .div(&bv.mul(bv))
+                            .scale(-1.0)
+                            .reduce_to_shape(bv.shape());
+                        accumulate(&mut grads, *a, ga);
+                        accumulate(&mut grads, *b, gb);
+                    }
                 }
-                Op::Neg(a) => accumulate(&mut grads, *a, g.scale(-1.0)),
-                Op::Scale(a, c) => accumulate(&mut grads, *a, g.scale(*c)),
+                Op::Neg(a) => {
+                    if reuse {
+                        fused_map1(&mut grads, *a, &g, |gv| gv * -1.0);
+                    } else {
+                        accumulate(&mut grads, *a, g.scale(-1.0));
+                    }
+                }
+                Op::Scale(a, c) => {
+                    let c = *c;
+                    if reuse {
+                        fused_map1(&mut grads, *a, &g, move |gv| gv * c);
+                    } else {
+                        accumulate(&mut grads, *a, g.scale(c));
+                    }
+                }
                 Op::AddScalar(a, _) => accumulate(&mut grads, *a, g),
                 Op::PowF(a, p) => {
-                    let x = &nodes[*a].value;
-                    let dg = g.mul(&x.map(|v| p * v.powf(p - 1.0)));
-                    accumulate(&mut grads, *a, dg);
+                    let p = *p;
+                    if reuse {
+                        fused_map2(&mut grads, *a, &g, &nodes[*a].value, move |gv, v| {
+                            gv * (p * v.powf(p - 1.0))
+                        });
+                    } else {
+                        let dg = g.mul(&nodes[*a].value.map(|v| p * v.powf(p - 1.0)));
+                        accumulate(&mut grads, *a, dg);
+                    }
                 }
-                Op::Exp(a) => accumulate(&mut grads, *a, g.mul(&node.value)),
-                Op::Ln(a) => accumulate(&mut grads, *a, g.div(&nodes[*a].value)),
+                Op::Exp(a) => {
+                    if reuse {
+                        fused_map2(&mut grads, *a, &g, &node.value, |gv, y| gv * y);
+                    } else {
+                        accumulate(&mut grads, *a, g.mul(&node.value));
+                    }
+                }
+                Op::Ln(a) => {
+                    if reuse {
+                        fused_map2(&mut grads, *a, &g, &nodes[*a].value, |gv, v| gv / v);
+                    } else {
+                        accumulate(&mut grads, *a, g.div(&nodes[*a].value));
+                    }
+                }
                 Op::Sqrt(a) => {
                     // dy/dx = 1 / (2 sqrt(x)) = 1 / (2 y)
-                    let dg = g.div(&node.value.scale(2.0));
-                    accumulate(&mut grads, *a, dg);
+                    if reuse {
+                        fused_map2(&mut grads, *a, &g, &node.value, |gv, y| gv / (y * 2.0));
+                    } else {
+                        accumulate(&mut grads, *a, g.div(&node.value.scale(2.0)));
+                    }
                 }
                 Op::Abs(a) => {
-                    let sign = nodes[*a].value.map(|v| {
+                    // Mask-multiply (not branch-select on g) so signed
+                    // zeros match the old `g.mul(&sign)` exactly.
+                    let sign = |v: f32| {
                         if v > 0.0 {
                             1.0
                         } else if v < 0.0 {
@@ -273,35 +350,69 @@ impl Tape {
                         } else {
                             0.0
                         }
-                    });
-                    accumulate(&mut grads, *a, g.mul(&sign));
+                    };
+                    if reuse {
+                        fused_map2(&mut grads, *a, &g, &nodes[*a].value, |gv, v| gv * sign(v));
+                    } else {
+                        accumulate(&mut grads, *a, g.mul(&nodes[*a].value.map(sign)));
+                    }
                 }
                 Op::Relu(a) => {
-                    let mask = nodes[*a].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-                    accumulate(&mut grads, *a, g.mul(&mask));
+                    if reuse {
+                        fused_map2(&mut grads, *a, &g, &nodes[*a].value, |gv, v| {
+                            gv * if v > 0.0 { 1.0 } else { 0.0 }
+                        });
+                    } else {
+                        let mask = nodes[*a].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                        accumulate(&mut grads, *a, g.mul(&mask));
+                    }
                 }
                 Op::LeakyRelu(a, slope) => {
                     let s = *slope;
-                    let mask = nodes[*a].value.map(|v| if v > 0.0 { 1.0 } else { s });
-                    accumulate(&mut grads, *a, g.mul(&mask));
+                    if reuse {
+                        fused_map2(&mut grads, *a, &g, &nodes[*a].value, move |gv, v| {
+                            gv * if v > 0.0 { 1.0 } else { s }
+                        });
+                    } else {
+                        let mask = nodes[*a].value.map(|v| if v > 0.0 { 1.0 } else { s });
+                        accumulate(&mut grads, *a, g.mul(&mask));
+                    }
                 }
                 Op::Sigmoid(a) => {
-                    let y = &node.value;
-                    let dg = g.mul(&y.mul(&y.map(|v| 1.0 - v)));
-                    accumulate(&mut grads, *a, dg);
+                    if reuse {
+                        fused_map2(&mut grads, *a, &g, &node.value, |gv, y| gv * (y * (1.0 - y)));
+                    } else {
+                        let y = &node.value;
+                        accumulate(&mut grads, *a, g.mul(&y.mul(&y.map(|v| 1.0 - v))));
+                    }
                 }
                 Op::Tanh(a) => {
-                    let y = &node.value;
-                    let dg = g.mul(&y.map(|v| 1.0 - v * v));
-                    accumulate(&mut grads, *a, dg);
+                    if reuse {
+                        fused_map2(&mut grads, *a, &g, &node.value, |gv, y| gv * (1.0 - y * y));
+                    } else {
+                        let y = &node.value;
+                        accumulate(&mut grads, *a, g.mul(&y.map(|v| 1.0 - v * v)));
+                    }
                 }
                 Op::MatMul(a, b) => {
                     let av = &nodes[*a].value;
                     let bv = &nodes[*b].value;
                     // Fused-transpose gemm: dA = dC @ B^T, dB = A^T @ dC,
-                    // without materializing B^T / A^T copies.
-                    let ga = g.matmul_nt(bv).reduce_to_shape(av.shape());
-                    let gb = av.matmul_tn(&g).reduce_to_shape(bv.shape());
+                    // without materializing B^T / A^T copies. With reuse on,
+                    // the reduce_to_shape (a full-tensor copy when shapes
+                    // already match) only runs on broadcast edges.
+                    let ga = g.matmul_nt(bv);
+                    let ga = if reuse && ga.shape() == av.shape() {
+                        ga
+                    } else {
+                        ga.reduce_to_shape(av.shape())
+                    };
+                    let gb = av.matmul_tn(&g);
+                    let gb = if reuse && gb.shape() == bv.shape() {
+                        gb
+                    } else {
+                        gb.reduce_to_shape(bv.shape())
+                    };
                     accumulate(&mut grads, *a, ga);
                     accumulate(&mut grads, *b, gb);
                 }
@@ -402,6 +513,110 @@ fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor) {
     }
 }
 
+/// Like [`accumulate`] but borrows the gradient, cloning only when the
+/// slot is empty. Lets rules that propagate `g` unchanged to several
+/// inputs skip one full-tensor copy per edge with an occupied slot.
+fn accumulate_ref(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_assign(g),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+/// Core of the fused backward kernels: `grads[idx][e] (+)= eval(e)`.
+///
+/// When the slot already holds a partial gradient the contribution is
+/// accumulated *in place* — no temporary tensor is materialized, which is
+/// the axpy-style fusion that removes one allocation + write + read per
+/// backward edge. When the slot is empty the contribution is written into
+/// a pooled buffer. Either way the per-element arithmetic is "evaluate
+/// `eval(e)`, then add" — exactly what the old temporary-then-`add_assign`
+/// code produced (Rust does not contract `a + b * c` to FMA), so results
+/// are bitwise identical. Large tensors split over the thread pool on
+/// disjoint output chunks, preserving determinism at any thread count.
+fn fused_apply(
+    grads: &mut [Option<Tensor>],
+    idx: usize,
+    shape: &[usize],
+    eval: &(impl Fn(usize) -> f32 + Sync),
+) {
+    let n = numel(shape);
+    match &mut grads[idx] {
+        Some(existing) => {
+            debug_assert_eq!(existing.shape(), shape, "fused gradient shape mismatch");
+            let dst = existing.data_mut();
+            if n < PAR_MIN_ELEMS {
+                for (e, d) in dst.iter_mut().enumerate() {
+                    *d += eval(e);
+                }
+            } else {
+                par_fill(dst, PAR_MIN_ELEMS / 4, |chunk, r| {
+                    for (d, e) in chunk.iter_mut().zip(r) {
+                        *d += eval(e);
+                    }
+                });
+            }
+        }
+        slot @ None => {
+            let mut data = pool::take_uninit(n);
+            if n < PAR_MIN_ELEMS {
+                for (e, d) in data.iter_mut().enumerate() {
+                    *d = eval(e);
+                }
+            } else {
+                par_fill(&mut data, PAR_MIN_ELEMS / 4, |chunk, r| {
+                    for (d, e) in chunk.iter_mut().zip(r) {
+                        *d = eval(e);
+                    }
+                });
+            }
+            *slot = Some(Tensor::from_vec(data, shape));
+        }
+    }
+}
+
+/// `grads[idx] (+)= f(g)` elementwise (same-shape inputs only).
+fn fused_map1(
+    grads: &mut [Option<Tensor>],
+    idx: usize,
+    g: &Tensor,
+    f: impl Fn(f32) -> f32 + Sync,
+) {
+    let gd = g.data();
+    fused_apply(grads, idx, g.shape(), &|e| f(gd[e]));
+}
+
+/// `grads[idx] (+)= f(g, x)` elementwise (same-shape inputs only).
+fn fused_map2(
+    grads: &mut [Option<Tensor>],
+    idx: usize,
+    g: &Tensor,
+    x: &Tensor,
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) {
+    debug_assert_eq!(g.shape(), x.shape(), "fused_map2 shape mismatch");
+    let gd = g.data();
+    let xd = x.data();
+    fused_apply(grads, idx, g.shape(), &|e| f(gd[e], xd[e]));
+}
+
+/// `grads[idx] (+)= f(g, a, b)` elementwise (same-shape inputs only).
+fn fused_map3(
+    grads: &mut [Option<Tensor>],
+    idx: usize,
+    g: &Tensor,
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f32, f32, f32) -> f32 + Sync,
+) {
+    debug_assert_eq!(g.shape(), a.shape(), "fused_map3 shape mismatch");
+    debug_assert_eq!(g.shape(), b.shape(), "fused_map3 shape mismatch");
+    let gd = g.data();
+    let ad = a.data();
+    let bd = b.data();
+    fused_apply(grads, idx, g.shape(), &|e| f(gd[e], ad[e], bd[e]));
+}
+
 /// Embeds a gradient of the narrowed slice back into a zero tensor of the
 /// input's shape.
 fn narrow_scatter(g: &Tensor, in_shape: &[usize], axis: usize, start: usize, len: usize) -> Tensor {
@@ -452,7 +667,78 @@ fn conv1d_backward(
     };
     let flops = b * cout * cin * k * t_out;
 
-    {
+    // dx via an im2col-of-g GEMM when pooling is on and the time rows are
+    // short (per-tap slice setup dominates the direct loop there). Bits
+    // are unchanged: each dx element is a single flat +0.0-seeded running
+    // sum over (co, ki) ascending — exactly the direct loop's order — the
+    // `cout*k <= KC` guard keeps the GEMM from splitting that sum into KC
+    // partials, and taps the direct loop clamps away become `w * 0.0`
+    // terms, which never change the bits of a +0.0-seeded sum.
+    let dx_gemm = crate::pool::pooling_enabled() && t < crate::gemm::NR && cout * k <= crate::gemm::KC;
+    if dx_gemm {
+        use crate::pool;
+        // wT[ci, co*k + ki] = w[co, ci, ki]
+        let kk = cout * k;
+        let mut wt = pool::take_uninit(cin * kk);
+        for ci in 0..cin {
+            for co in 0..cout {
+                for ki in 0..k {
+                    wt[ci * kk + co * k + ki] = wd[(co * cin + ci) * k + ki];
+                }
+            }
+        }
+        // gcol[co*k + ki, bi*t + j] = g[bi, co, j + pad - ki*dilation]
+        // (the tap that touches input position j), zero where clamped.
+        let cols_n = b * t;
+        let mut gcol = pool::take_zeroed(kk * cols_n);
+        for co in 0..cout {
+            for ki in 0..k {
+                let shift = ki * dilation;
+                let (to_lo, to_hi) = to_range(shift);
+                if to_lo >= to_hi {
+                    continue;
+                }
+                let j_lo = to_lo + shift - pad_left;
+                let row = &mut gcol[(co * k + ki) * cols_n..][..cols_n];
+                for bi in 0..b {
+                    let src = &gd[(bi * cout + co) * t_out + to_lo..][..to_hi - to_lo];
+                    row[bi * t + j_lo..][..to_hi - to_lo].copy_from_slice(src);
+                }
+            }
+        }
+        let mut dx_mat = pool::take_uninit(cin * cols_n);
+        let threads = crate::parallel::num_threads();
+        if flops < PAR_MIN_FLOPS || threads == 1 {
+            crate::gemm::gemm_strided(cin, kk, cols_n, &wt, kk, 1, &gcol, cols_n, 1, &mut dx_mat);
+        } else {
+            let strip = cin.div_ceil(2 * threads).max(1);
+            let strips = cin.div_ceil(strip);
+            let mat_ptr = SendPtr(dx_mat.as_mut_ptr());
+            parallel_for(strips, 1, |r| {
+                for s in r {
+                    let r0 = s * strip;
+                    let rows = strip.min(cin - r0);
+                    // SAFETY: strip s owns dx_mat rows [r0, r0 + rows).
+                    let o = unsafe { mat_ptr.slice(r0 * cols_n, rows * cols_n) };
+                    crate::gemm::gemm_strided(
+                        rows, kk, cols_n, &wt[r0 * kk..], kk, 1, &gcol, cols_n, 1, o,
+                    );
+                }
+            });
+        }
+        // Scatter [ci, (bi, j)] back to [bi, ci, j]; every element is
+        // covered, so this fully overwrites dx.
+        let dxd = dx.data_mut();
+        for bi in 0..b {
+            for ci in 0..cin {
+                let src = &dx_mat[ci * cols_n + bi * t..][..t];
+                dxd[(bi * cin + ci) * t..][..t].copy_from_slice(src);
+            }
+        }
+        pool::recycle(dx_mat);
+        pool::recycle(gcol);
+        pool::recycle(wt);
+    } else {
         let dx_ptr = SendPtr(dx.data_mut().as_mut_ptr());
         let dx_item = |item: usize| {
             let bi = item / cin;
@@ -489,7 +775,76 @@ fn conv1d_backward(
             });
         }
     }
-    {
+    // dw via per-batch `g_bi @ im2col(x_bi)^T` GEMMs. Unlike dx, the
+    // direct dw loop does NOT keep one flat running sum per element — it
+    // accumulates a register dot product per (bi, ki) and adds those
+    // partials in bi order. The lowering reproduces that grouping
+    // exactly: each per-batch GEMM computes the same to-ascending dot
+    // (clamped taps appear as `g * 0.0` terms — adding a signed zero to a
+    // +0.0-seeded sum is the identity), and the partials are then summed
+    // serially in bi order, so every bit matches the direct loop.
+    let dw_gemm = crate::pool::pooling_enabled() && t_out < crate::gemm::NR;
+    if dw_gemm {
+        use crate::pool;
+        let kk = cin * k;
+        let mut partials = pool::take_uninit(b * cout * kk);
+        {
+            let part_ptr = SendPtr(partials.as_mut_ptr());
+            let bi_item = |bi: usize| {
+                // colsxt[to, ci*k + ki] = x[bi, ci, to + ki*dilation - pad]
+                let mut colsxt = pool::take_zeroed(t_out * kk);
+                for ci in 0..cin {
+                    for ki in 0..k {
+                        let shift = ki * dilation;
+                        let (to_lo, to_hi) = to_range(shift);
+                        if to_lo >= to_hi {
+                            continue;
+                        }
+                        let x_base = (bi * cin + ci) * t + to_lo + shift - pad_left;
+                        for to in to_lo..to_hi {
+                            colsxt[to * kk + ci * k + ki] = xd[x_base + (to - to_lo)];
+                        }
+                    }
+                }
+                // SAFETY: item bi owns partials[bi*cout*kk ..][..cout*kk].
+                let o = unsafe { part_ptr.slice(bi * cout * kk, cout * kk) };
+                crate::gemm::gemm_strided(
+                    cout,
+                    t_out,
+                    kk,
+                    &gd[bi * cout * t_out..],
+                    t_out,
+                    1,
+                    &colsxt,
+                    kk,
+                    1,
+                    o,
+                );
+                pool::recycle(colsxt);
+            };
+            if flops < PAR_MIN_FLOPS {
+                for bi in 0..b {
+                    bi_item(bi);
+                }
+            } else {
+                parallel_for(b, 1, |r| {
+                    for bi in r {
+                        bi_item(bi);
+                    }
+                });
+            }
+        }
+        // dw's [co, ci, ki] layout is exactly the partials' [co, (ci, ki)]
+        // row-major layout, so the bi-ordered accumulate is a flat zip.
+        let dwd = dw.data_mut();
+        for bi in 0..b {
+            let part = &partials[bi * cout * kk..][..cout * kk];
+            for (slot, &p) in dwd.iter_mut().zip(part) {
+                *slot += p;
+            }
+        }
+        pool::recycle(partials);
+    } else {
         let dw_ptr = SendPtr(dw.data_mut().as_mut_ptr());
         let dw_item = |item: usize| {
             let co = item / cin;

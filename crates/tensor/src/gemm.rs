@@ -46,6 +46,21 @@ pub const NC: usize = 256;
 /// plain branch-free ikj loop wins.
 pub const SMALL_GEMM_FLOPS: usize = 32 * 32 * 32;
 
+/// Outputs at most this many rows tall are routed to the direct kernel
+/// when buffer pooling is on. Rationale: packing touches all `k * n`
+/// elements of B once per call, which is `1/m` of the multiply-add count —
+/// for thin outputs (small `m`, as produced by graph convolutions over a
+/// couple dozen nodes, and by per-thread row strips of such shapes) that
+/// overhead approaches the cost of the GEMM itself.
+pub const DIRECT_M_MAX: usize = 32;
+
+/// B operands with at most this many elements (32 KiB of f32 — L1-sized)
+/// are considered "tiny": skinny outputs (`n <= NR`, where the micro-tile
+/// would multiply mostly padding) with a tiny L1-resident B also route to
+/// the direct kernel, and a tiny *strided* B is first transposed into a
+/// pooled row-major scratch so the direct inner loop vectorizes.
+pub const SMALL_B_ELEMS: usize = 8192;
+
 /// `out[m x n] = A[m x k] * B[k x n]` with arbitrary element strides on A
 /// and B; `out` is contiguous row-major and fully overwritten.
 ///
@@ -71,13 +86,46 @@ pub fn gemm_strided(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    if m * n * k < SMALL_GEMM_FLOPS {
-        gemm_small(m, k, n, a, a_rs, a_cs, b, b_rs, b_cs, out);
+    // Shape-aware routing (pooled mode only — with pooling off the
+    // seed-era SMALL_GEMM_FLOPS rule alone decides, reproducing baseline
+    // behaviour). Thin single-block outputs (small m, k within one KC
+    // block, contiguous B rows) run the direct kernel: packing costs
+    // `~1/m` of the multiply-add count, which for a couple dozen rows —
+    // graph-convolution outputs, or per-thread row strips of them —
+    // approaches the GEMM itself. Small GEMMs with a *strided* L1-sized B
+    // (e.g. `A @ B^T` against a tiny weight) first transpose B into
+    // pooled row-major scratch so the direct inner loop vectorizes
+    // instead of gathering scalars. Routing never affects results — both
+    // kernels produce bitwise identical elements (see [`gemm_small`]),
+    // and the transpose is a pure copy, so it cannot change bits either.
+    let pooled = crate::pool::pooling_enabled();
+    let tiny_strided_b = b_cs != 1 && k * n <= SMALL_B_ELEMS;
+    let thin = pooled && m <= DIRECT_M_MAX && (b_cs == 1 || tiny_strided_b);
+    if m * n * k < SMALL_GEMM_FLOPS || thin {
+        if pooled && tiny_strided_b {
+            let mut bt = crate::pool::take_uninit(k * n);
+            for p in 0..k {
+                let row = &mut bt[p * n..(p + 1) * n];
+                let base = p * b_rs;
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot = b[base + j * b_cs];
+                }
+            }
+            gemm_small(m, k, n, a, a_rs, a_cs, &bt, n, 1, out);
+            crate::pool::recycle(bt);
+        } else {
+            gemm_small(m, k, n, a, a_rs, a_cs, b, b_rs, b_cs, out);
+        }
         return;
     }
 
-    let mut apack = vec![0.0f32; MC * KC];
-    let mut bpack = vec![0.0f32; KC * NC];
+    // Pack buffers come from the thread-local buffer pool: after the first
+    // call on a given thread (worker or caller), every subsequent gemm
+    // reuses the same two buffers instead of paying an mmap-sized
+    // allocation per call. Contents need no init — pack_a/pack_b fully
+    // overwrite every region the micro-kernel reads this call.
+    let mut apack = crate::pool::take_uninit(MC * KC);
+    let mut bpack = crate::pool::take_uninit(KC * NC);
     let mut acc = [[0.0f32; NR]; MR];
 
     for jc in (0..n).step_by(NC) {
@@ -113,6 +161,8 @@ pub fn gemm_strided(
             }
         }
     }
+    crate::pool::recycle(apack);
+    crate::pool::recycle(bpack);
 }
 
 /// Register-tiled inner kernel: `acc[MR x NR] = Apanel * Bpanel` over a
@@ -191,8 +241,16 @@ fn pack_b(
 }
 
 /// Branch-free ikj kernel for matrices too small to amortize packing.
-/// Same per-element accumulation order (k ascending) as the tiled path
-/// would produce with a single KC block.
+///
+/// Per-element accumulation order is *exactly* the tiled path's: k
+/// ascending, in KC-sized partial sums. For `k <= KC` the direct running
+/// sum is bitwise identical to "compute a zero-seeded partial then add it
+/// to a zero output" (a sum seeded `+0.0` can never be `-0.0`, so the
+/// final `0.0 + s` is exact); for `k > KC` each KC block accumulates into
+/// a zero-seeded scratch row that is then added to the output, matching
+/// the tiled kernel's per-block `C += acc`. This equivalence is what lets
+/// callers size parallel row strips freely — whether a strip lands on the
+/// small or tiled path cannot change a single output bit.
 fn gemm_small(
     m: usize,
     k: usize,
@@ -205,9 +263,62 @@ fn gemm_small(
     b_cs: usize,
     out: &mut [f32],
 ) {
+    if k <= KC {
+        gemm_small_block(m, 0, k, n, a, a_rs, a_cs, b, b_rs, b_cs, out);
+        return;
+    }
+    let mut scratch = crate::pool::take_uninit(n);
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        for i in 0..m {
+            scratch.fill(0.0);
+            gemm_small_block(1, pc, kc, n, &a[i * a_rs..], a_rs, a_cs, b, b_rs, b_cs, &mut scratch);
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &s) in orow.iter_mut().zip(scratch.iter()) {
+                *o += s;
+            }
+        }
+    }
+    crate::pool::recycle(scratch);
+}
+
+/// Accumulates `out += A[.., pc..pc+kc] * B[pc..pc+kc, ..]` with the
+/// plain ikj loop, k ascending within the block.
+///
+/// Contiguous-B shapes whose width is a known small constant dispatch to
+/// [`gemm_small_cols`], which keeps the output row in registers across
+/// the whole k block instead of streaming it through L1 once per `p`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_small_block(
+    m: usize,
+    pc: usize,
+    kc: usize,
+    n: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    out: &mut [f32],
+) {
+    if b_cs == 1 {
+        if n % NR == 0 {
+            for j0 in (0..n).step_by(NR) {
+                gemm_small_cols::<NR>(m, pc, kc, n, j0, a, a_rs, a_cs, b, b_rs, out);
+            }
+            return;
+        }
+        match n {
+            8 => return gemm_small_cols::<8>(m, pc, kc, n, 0, a, a_rs, a_cs, b, b_rs, out),
+            16 => return gemm_small_cols::<16>(m, pc, kc, n, 0, a, a_rs, a_cs, b, b_rs, out),
+            24 => return gemm_small_cols::<24>(m, pc, kc, n, 0, a, a_rs, a_cs, b, b_rs, out),
+            _ => {}
+        }
+    }
     for i in 0..m {
         let orow = &mut out[i * n..(i + 1) * n];
-        for p in 0..k {
+        for p in pc..pc + kc {
             let aip = a[i * a_rs + p * a_cs];
             let b_base = p * b_rs;
             if b_cs == 1 {
@@ -220,6 +331,46 @@ fn gemm_small(
                     *o += aip * b[b_base + j * b_cs];
                 }
             }
+        }
+    }
+}
+
+/// Fixed-width column panel of the direct kernel: computes columns
+/// `[j0, j0 + W)` of `out += A[.., pc..pc+kc] * B[pc..pc+kc, ..]` holding
+/// the W-wide accumulator row in registers across the whole k block
+/// (compile-time W lets LLVM fully unroll the inner loop).
+///
+/// Bitwise equivalence with the streaming loop: the accumulator performs
+/// the *same* addition sequence (k ascending from a `+0.0` seed), and the
+/// final `out += acc` adds each total to the `0.0` the caller zeroed the
+/// output with. A `+0.0`-seeded running sum can never be `-0.0` (adding a
+/// signed zero to `+0.0` gives `+0.0`, and exact cancellation rounds to
+/// `+0.0`), so that last add returns `acc` exactly.
+#[allow(clippy::too_many_arguments)]
+fn gemm_small_cols<const W: usize>(
+    m: usize,
+    pc: usize,
+    kc: usize,
+    n: usize,
+    j0: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    out: &mut [f32],
+) {
+    for i in 0..m {
+        let mut acc = [0.0f32; W];
+        for p in pc..pc + kc {
+            let aip = a[i * a_rs + p * a_cs];
+            let brow: &[f32; W] = b[p * b_rs + j0..][..W].try_into().unwrap();
+            for (av, &bv) in acc.iter_mut().zip(brow) {
+                *av += aip * bv;
+            }
+        }
+        for (o, &v) in out[i * n + j0..][..W].iter_mut().zip(&acc) {
+            *o += v;
         }
     }
 }
@@ -344,6 +495,39 @@ mod tests {
         let mut out = vec![0.0f32; m * n];
         gemm_strided(m, k, n, &a, k, 1, &b, n, 1, &mut out);
         assert_close(&out, &reference(m, k, n, &a, &b), k);
+    }
+
+    #[test]
+    #[ignore = "timing probe, run manually with --release"]
+    fn shape_timing_probe() {
+        // m, k, n, b_rs, b_cs
+        let shapes = [
+            (2112usize, 16usize, 16usize, 16usize, 1usize), // NN skinny
+            (16, 2112, 16, 16, 1),                          // TN-ish (b contiguous)
+            (2112, 16, 16, 1, 16),                          // NT tiny strided B
+            (24, 24, 16, 16, 1),                            // batched tiny
+            (24, 16, 24, 1, 16),                            // batched tiny NT
+            (192, 32, 64, 64, 1),                           // decoder
+        ];
+        for &(m, k, n, b_rs, b_cs) in &shapes {
+            let a = fill(m * k, 11);
+            let b = fill(k * n, 12);
+            let mut out = vec![0.0f32; m * n];
+            for &pooled in &[false, true] {
+                let prev = crate::pool::set_pooling(pooled);
+                let t0 = std::time::Instant::now();
+                let iters = 2000;
+                for _ in 0..iters {
+                    gemm_strided(m, k, n, &a, k, 1, &b, b_rs, b_cs, &mut out);
+                }
+                let us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+                let gfs = (m * n * k) as f64 / us / 1e3;
+                println!(
+                    "m={m:<5} k={k:<5} n={n:<3} b_cs={b_cs:<3} pooled={pooled:<5} {us:>8.2} us  {gfs:>6.2} GF/s"
+                );
+                crate::pool::set_pooling(prev);
+            }
+        }
     }
 
     #[test]

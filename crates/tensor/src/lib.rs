@@ -41,6 +41,7 @@ pub mod gradcheck;
 pub mod optim;
 pub mod parallel;
 pub mod params;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
@@ -48,6 +49,9 @@ pub mod tensor;
 pub use autodiff::{Session, Tape, Var};
 pub use optim::{Adam, AdamState, Optimizer, Sgd};
 pub use parallel::{num_threads, parallel_for, pool_stats, reset_pool_stats, set_threads, PoolStats};
+pub use pool::{
+    buffer_pool_stats, pooling_enabled, reset_buffer_pool_stats, set_pooling, BufferPoolStats,
+};
 pub use params::{ParamId, ParamStore};
 pub use rng::Rng;
 pub use tensor::Tensor;

@@ -32,13 +32,17 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore) {
+        let reuse = crate::pool::pooling_enabled();
         let ids: Vec<_> = store.ids().collect();
         for id in ids {
-            let grad = store.grad(id).clone();
             let wd = self.weight_decay;
             let lr = self.lr;
-            let v = store.value_mut(id);
-            for (p, g) in v.data_mut().iter_mut().zip(grad.data()) {
+            // With memory reuse off, clone the gradient first (the seed-era
+            // baseline); otherwise split-borrow and update in place.
+            let cloned = (!reuse).then(|| store.grad(id).clone());
+            let (value, grad) = store.value_grad_mut(id);
+            let gd = cloned.as_ref().map_or(grad.data(), |c| c.data());
+            for (p, g) in value.data_mut().iter_mut().zip(gd) {
                 *p -= lr * (g + wd * *p);
             }
         }
@@ -136,26 +140,30 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (beta1, beta2, lr, eps, wd) = (self.beta1, self.beta2, self.lr, self.eps, self.weight_decay);
+        let reuse = crate::pool::pooling_enabled();
         let ids: Vec<_> = store.ids().collect();
         for (i, id) in ids.into_iter().enumerate() {
-            let grad = store.grad(id).clone();
-            let wd = self.weight_decay;
-            let value = store.value_mut(id);
+            // Seed-era baseline clones the gradient; the reuse path
+            // split-borrows it and updates everything in place.
+            let cloned = (!reuse).then(|| store.grad(id).clone());
+            let (value, grad) = store.value_grad_mut(id);
+            let gd = cloned.as_ref().map_or(grad.data(), |c| c.data());
             let md = self.m[i].data_mut();
             let vd = self.v[i].data_mut();
             for (((p, &g0), m), v) in value
                 .data_mut()
                 .iter_mut()
-                .zip(grad.data())
+                .zip(gd)
                 .zip(md.iter_mut())
                 .zip(vd.iter_mut())
             {
                 let g = g0 + wd * *p;
-                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
-                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                *m = beta1 * *m + (1.0 - beta1) * g;
+                *v = beta2 * *v + (1.0 - beta2) * g * g;
                 let mhat = *m / bc1;
                 let vhat = *v / bc2;
-                *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                *p -= lr * mhat / (vhat.sqrt() + eps);
             }
         }
     }

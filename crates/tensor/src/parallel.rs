@@ -12,7 +12,10 @@
 //!   thread, so `URCL_THREADS=1` never touches a channel.
 //! * **Deterministic chunking.** Chunk boundaries are a pure function of
 //!   `(n, grain, active threads)` and chunk *i* always goes to worker
-//!   *i − 1*. Kernels built on this runtime parallelize only over disjoint
+//!   *(i − 1) mod workers*, where the worker count is capped at the
+//!   host's physical parallelism (surplus chunks queue; on a single-core
+//!   host everything runs inline — scheduling changes, results don't).
+//!   Kernels built on this runtime parallelize only over disjoint
 //!   output regions and never split a reduction axis, so results are
 //!   bitwise reproducible run-to-run at a fixed thread count (and, for the
 //!   kernels in this crate, across thread counts too).
@@ -72,9 +75,26 @@ fn default_threads() -> usize {
             .ok()
             .filter(|&n| n >= 1)
             .unwrap_or_else(|| panic!("URCL_THREADS must be a positive integer, got {v:?}")),
-        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        Err(_) => host_threads(),
     }
     .min(MAX_THREADS)
+}
+
+/// Physical parallelism of the host, sampled once per process. Thread
+/// counts requested above this are satisfied by queueing surplus chunks
+/// onto the available workers (or running everything inline on a
+/// single-core host): chunk boundaries still follow the *requested*
+/// count, so results stay bit-identical — oversubscription only changes
+/// scheduling, never math. Without this, asking a 1-core container for 4
+/// threads made every kernel pay channel wakeups and time-slicing for
+/// zero added parallelism (the "4-thread scaling cliff").
+fn host_threads() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 fn pool() -> &'static Pool {
@@ -190,7 +210,12 @@ where
     let threads = num_threads();
     let max_chunks = n.div_ceil(grain);
     let chunks = threads.min(max_chunks).max(1);
-    if chunks == 1 || IN_WORKER.with(|flag| flag.get()) {
+    // Chunks beyond the host's physical parallelism buy no concurrency;
+    // on a single-core host skip dispatch entirely and otherwise queue the
+    // surplus round-robin onto the real workers. Chunk boundaries are
+    // already fixed above, so this cannot change any result bit.
+    let send_workers = host_threads().saturating_sub(1).min(chunks - 1);
+    if chunks == 1 || send_workers == 0 || IN_WORKER.with(|flag| flag.get()) {
         INLINE_CALLS.fetch_add(1, Ordering::Relaxed);
         f(0..n);
         return;
@@ -212,12 +237,15 @@ where
     let (done_tx, done_rx) = channel();
     {
         let mut workers = pool().workers.lock().unwrap();
-        while workers.len() < chunks - 1 {
+        while workers.len() < send_workers {
             let idx = workers.len();
             workers.push(spawn_worker(idx));
         }
+        // Deterministic assignment: chunk i always lands on worker
+        // (i-1) % send_workers, so each worker sees the same chunk sizes
+        // (and thus requests the same pooled buffer lengths) every step.
         for i in 1..chunks {
-            workers[i - 1]
+            workers[(i - 1) % send_workers]
                 .send(Task {
                     func: erased,
                     range: bounds(i)..bounds(i + 1),
@@ -265,6 +293,24 @@ impl SendPtr {
     pub unsafe fn slice(&self, offset: usize, len: usize) -> &'static mut [f32] {
         std::slice::from_raw_parts_mut(self.0.add(offset), len)
     }
+}
+
+/// Runs `f` over disjoint mutable chunks of `out`, each paired with its
+/// index range — the common "fill an output buffer in parallel" pattern.
+/// Centralizes the [`SendPtr`] dance so kernels don't repeat the unsafe
+/// block; chunk boundaries follow [`parallel_for`], so writes are
+/// disjoint by construction and results are deterministic.
+pub fn par_fill<F>(out: &mut [f32], grain: usize, f: F)
+where
+    F: Fn(&mut [f32], Range<usize>) + Sync,
+{
+    let n = out.len();
+    let ptr = SendPtr(out.as_mut_ptr());
+    parallel_for(n, grain, |r| {
+        // SAFETY: parallel_for chunks are disjoint subranges of 0..n.
+        let dst = unsafe { ptr.slice(r.start, r.len()) };
+        f(dst, r);
+    });
 }
 
 /// Elementwise work below this many elements is not worth dispatching.
@@ -319,10 +365,12 @@ mod tests {
 
     #[test]
     fn worker_panic_propagates() {
+        // The last chunk runs on a worker when the host has spare cores
+        // and inline otherwise; the panic must surface either way.
         let prev = set_threads(4);
         let caught = std::panic::catch_unwind(|| {
             parallel_for(100, 1, |r| {
-                if r.start > 0 {
+                if r.end == 100 {
                     panic!("boom in chunk");
                 }
             });

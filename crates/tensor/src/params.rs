@@ -86,11 +86,28 @@ impl ParamStore {
         (0..self.params.len()).map(ParamId)
     }
 
-    /// Zeroes every gradient buffer.
+    /// Zeroes every gradient buffer in place (no reallocation — the
+    /// buffers persist across steps). With pooling off it reallocates
+    /// fresh zero tensors instead, reproducing the seed-era baseline that
+    /// `bench_train_step` measures against.
     pub fn zero_grads(&mut self) {
-        for p in &mut self.params {
-            p.grad = Tensor::zeros(p.value.shape());
+        if crate::pool::pooling_enabled() {
+            for p in &mut self.params {
+                p.grad.data_mut().fill(0.0);
+            }
+        } else {
+            for p in &mut self.params {
+                p.grad = Tensor::zeros(p.value.shape());
+            }
         }
+    }
+
+    /// Split borrow of a parameter's value (mutable) and gradient
+    /// (shared), so optimizers can update in place without cloning the
+    /// gradient first.
+    pub fn value_grad_mut(&mut self, id: ParamId) -> (&mut Tensor, &Tensor) {
+        let p = &mut self.params[id.0];
+        (&mut p.value, &p.grad)
     }
 
     /// Copies tape gradients into the store, accumulating on top of the
@@ -140,12 +157,13 @@ impl ParamStore {
         }
     }
 
-    /// Copies parameter values from another store with identical layout.
+    /// Copies parameter values from another store with identical layout,
+    /// reusing the existing buffers.
     pub fn copy_values_from(&mut self, other: &ParamStore) {
         assert_eq!(self.params.len(), other.params.len(), "store layout mismatch");
         for (a, b) in self.params.iter_mut().zip(&other.params) {
             assert_eq!(a.value.shape(), b.value.shape(), "param shape mismatch");
-            a.value = b.value.clone();
+            a.value.data_mut().copy_from_slice(b.value.data());
         }
     }
 }

@@ -1,0 +1,325 @@
+//! Tape-scoped buffer pooling: a per-thread free list of `Vec<f32>`
+//! buffers keyed by exact length, so steady-state training performs zero
+//! heap allocation in the hot loop.
+//!
+//! ## Why
+//!
+//! Every autodiff op materializes its result into a fresh `Vec<f32>`, and
+//! a training step records hundreds of nodes. Without reuse each step
+//! pays malloc + page-fault + memset for every intermediate — and for
+//! buffers above the allocator's mmap threshold (~128 KiB) the
+//! `mmap`/`munmap` churn additionally serializes worker threads on the
+//! kernel's address-space lock, which is exactly what flattened the
+//! 4-thread GEMM curve. With the pool, a dropped [`crate::Tensor`] (or a
+//! GEMM packing buffer) returns its storage to the current thread's free
+//! list, and the next request for the same length pops it back in O(1).
+//!
+//! ## Lifecycle
+//!
+//! * [`take_uninit`] / [`take_zeroed`] hand out a `Vec<f32>` of exactly
+//!   the requested length — recycled when a same-length buffer is free
+//!   (*hit*), freshly allocated otherwise (*miss*).
+//! * [`recycle`] returns a buffer to the free list. `Tensor`'s `Drop`
+//!   impl calls this, so dropping a whole [`crate::autodiff::Tape`] at
+//!   the end of a step refills the pool for the next step — the
+//!   "tape-scoped" part of the design.
+//! * Buffers handed out by [`take_uninit`] hold unspecified (but
+//!   initialized) `f32` values; callers must overwrite every element.
+//!
+//! Free lists are thread-local (no locking; GEMM workers reuse their own
+//! packing buffers), while the hit/miss/recycled/peak counters are global
+//! relaxed atomics so `urcl-trace` can export one process-wide view.
+//!
+//! ## Determinism
+//!
+//! Pooling never changes numerics: pooled buffers are either zeroed on
+//! hand-out or fully overwritten by the kernel that requested them, and
+//! no computation order depends on whether a buffer came from the free
+//! list or the allocator. `tests/pool_determinism.rs` asserts a full
+//! train step is bitwise identical with pooling on and off, at 1 and 4
+//! threads.
+//!
+//! Pooling is on by default; set `URCL_POOL=0` to disable it at process
+//! start, or call [`set_pooling`] at runtime (benches toggle it to
+//! measure the pooling-off baseline in the same process). The toggle
+//! governs the whole memory-reuse path: with pooling off the backward
+//! pass also falls back from the fused in-place accumulators to the
+//! seed-style materialize-a-temporary-then-accumulate kernels, so the
+//! "off" setting reproduces the pre-pool allocation behaviour end to end
+//! (with identical arithmetic, hence identical bits).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Pooling state: 0 = unset (read env on first use), 1 = on, 2 = off.
+static POOLING: AtomicUsize = AtomicUsize::new(0);
+
+/// Cumulative counters (process-global; free lists are thread-local).
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static BYTES_RECYCLED: AtomicU64 = AtomicU64::new(0);
+static LIVE_F32: AtomicU64 = AtomicU64::new(0);
+static PEAK_LIVE_F32: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Free buffers of this thread, keyed by exact length.
+    static FREE: RefCell<HashMap<usize, Vec<Vec<f32>>>> = RefCell::new(HashMap::new());
+}
+
+fn pooling_from_env() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("URCL_POOL") {
+        Ok(v) if v.trim() == "0" || v.trim().eq_ignore_ascii_case("off") => 2,
+        _ => 1,
+    })
+}
+
+/// Whether buffer pooling is currently active.
+#[inline]
+pub fn pooling_enabled() -> bool {
+    match POOLING.load(Ordering::Relaxed) {
+        0 => {
+            let v = pooling_from_env();
+            POOLING.store(v, Ordering::Relaxed);
+            v == 1
+        }
+        v => v == 1,
+    }
+}
+
+/// Turns pooling on or off at runtime, returning the previous setting.
+/// Intended for benches and determinism tests; normal runs use the
+/// `URCL_POOL` environment variable. Off also selects the unfused
+/// (materialize-then-accumulate) backward kernels — see the module docs.
+/// Turning pooling off does not drop buffers already cached; call
+/// [`trim_thread_pool`] for that.
+pub fn set_pooling(on: bool) -> bool {
+    let prev = pooling_enabled();
+    POOLING.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+    prev
+}
+
+/// Cumulative buffer-pool statistics since process start (or the last
+/// [`reset_buffer_pool_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Requests served by popping a recycled same-length buffer.
+    pub hits: u64,
+    /// Requests that fell through to a fresh heap allocation.
+    pub misses: u64,
+    /// Bytes returned to free lists by [`recycle`] over the pool's
+    /// lifetime (a churn measure, not a resident-size measure).
+    pub bytes_recycled: u64,
+    /// `f32` elements currently handed out by the pool and not yet
+    /// recycled (the live tensor working set, pool's-eye view).
+    pub live_f32: u64,
+    /// High-water mark of [`Self::live_f32`].
+    pub peak_live_f32: u64,
+}
+
+/// Reads the cumulative pool counters.
+pub fn buffer_pool_stats() -> BufferPoolStats {
+    BufferPoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        bytes_recycled: BYTES_RECYCLED.load(Ordering::Relaxed),
+        live_f32: LIVE_F32.load(Ordering::Relaxed),
+        peak_live_f32: PEAK_LIVE_F32.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the cumulative pool counters (including the live/peak gauges;
+/// buffers still outstanding will saturate at zero when recycled).
+pub fn reset_buffer_pool_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    BYTES_RECYCLED.store(0, Ordering::Relaxed);
+    LIVE_F32.store(0, Ordering::Relaxed);
+    PEAK_LIVE_F32.store(0, Ordering::Relaxed);
+}
+
+/// Drops every buffer cached by the *current thread's* free lists,
+/// releasing their memory to the allocator. Other threads' caches are
+/// untouched (they are thread-local by design).
+pub fn trim_thread_pool() {
+    FREE.with(|f| f.borrow_mut().clear());
+}
+
+/// Number of `f32` elements resident in the current thread's free lists.
+pub fn thread_pool_resident_f32() -> usize {
+    FREE.with(|f| {
+        f.borrow()
+            .values()
+            .flat_map(|bucket| bucket.iter().map(Vec::len))
+            .sum()
+    })
+}
+
+fn note_live(len: usize) {
+    let live = LIVE_F32.fetch_add(len as u64, Ordering::Relaxed) + len as u64;
+    PEAK_LIVE_F32.fetch_max(live, Ordering::Relaxed);
+}
+
+/// A buffer of exactly `len` elements with **unspecified contents**; the
+/// caller must overwrite every element before reading any. Pops a
+/// recycled buffer when one of this exact length is free, otherwise
+/// allocates. `take_uninit(0)` is an empty `Vec` and touches no counter.
+pub fn take_uninit(len: usize) -> Vec<f32> {
+    take(len, false)
+}
+
+/// A buffer of exactly `len` elements, all `0.0` — the pooled equivalent
+/// of `vec![0.0; len]`.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    take(len, true)
+}
+
+fn take(len: usize, zero: bool) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if !pooling_enabled() {
+        return vec![0.0; len];
+    }
+    let recycled = FREE.with(|f| {
+        f.borrow_mut()
+            .get_mut(&len)
+            .and_then(|bucket| bucket.pop())
+    });
+    note_live(len);
+    match recycled {
+        Some(mut v) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            debug_assert_eq!(v.len(), len, "pool bucket holds wrong-length buffer");
+            if zero {
+                v.fill(0.0);
+            }
+            v
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            vec![0.0; len]
+        }
+    }
+}
+
+/// Returns a buffer to the current thread's free list for reuse by a
+/// later same-length [`take_uninit`]/[`take_zeroed`]. Empty buffers and
+/// buffers recycled while pooling is off are simply dropped.
+pub fn recycle(v: Vec<f32>) {
+    let len = v.len();
+    if len == 0 || !pooling_enabled() {
+        return;
+    }
+    BYTES_RECYCLED.fetch_add(4 * len as u64, Ordering::Relaxed);
+    // Saturating: a buffer taken before a counter reset (or while pooling
+    // was off) must not wrap the live gauge below zero.
+    let _ = LIVE_F32.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+        Some(live.saturating_sub(len as u64))
+    });
+    FREE.with(|f| f.borrow_mut().entry(len).or_default().push(v));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests in this module: counters are process-global.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<std::sync::Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn recycled_buffer_is_reused() {
+        let _guard = lock();
+        let prev = set_pooling(true);
+        trim_thread_pool();
+        reset_buffer_pool_stats();
+        let a = take_uninit(128);
+        let ptr = a.as_ptr();
+        recycle(a);
+        let b = take_uninit(128);
+        assert_eq!(b.as_ptr(), ptr, "same-length request must reuse the buffer");
+        assert_eq!(b.len(), 128);
+        let stats = buffer_pool_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.bytes_recycled, 4 * 128);
+        recycle(b);
+        set_pooling(prev);
+    }
+
+    #[test]
+    fn lengths_never_cross_buckets() {
+        let _guard = lock();
+        let prev = set_pooling(true);
+        trim_thread_pool();
+        reset_buffer_pool_stats();
+        recycle(take_uninit(64));
+        let v = take_uninit(63);
+        assert_eq!(v.len(), 63);
+        assert_eq!(buffer_pool_stats().hits, 0, "63 must not hit the 64 bucket");
+        set_pooling(prev);
+    }
+
+    #[test]
+    fn zeroed_hand_out_is_clean() {
+        let _guard = lock();
+        let prev = set_pooling(true);
+        trim_thread_pool();
+        let mut v = take_uninit(16);
+        v.fill(7.5);
+        recycle(v);
+        let z = take_zeroed(16);
+        assert!(z.iter().all(|&x| x == 0.0));
+        set_pooling(prev);
+    }
+
+    #[test]
+    fn disabled_pool_allocates_and_counts_nothing() {
+        let _guard = lock();
+        let prev = set_pooling(false);
+        reset_buffer_pool_stats();
+        let v = take_zeroed(32);
+        assert_eq!(v, vec![0.0; 32]);
+        recycle(v);
+        let stats = buffer_pool_stats();
+        assert_eq!((stats.hits, stats.misses, stats.bytes_recycled), (0, 0, 0));
+        set_pooling(prev);
+    }
+
+    #[test]
+    fn live_gauge_tracks_outstanding_and_saturates() {
+        let _guard = lock();
+        let prev = set_pooling(true);
+        trim_thread_pool();
+        reset_buffer_pool_stats();
+        let a = take_uninit(100);
+        let b = take_uninit(50);
+        assert_eq!(buffer_pool_stats().live_f32, 150);
+        assert_eq!(buffer_pool_stats().peak_live_f32, 150);
+        recycle(a);
+        assert_eq!(buffer_pool_stats().live_f32, 50);
+        reset_buffer_pool_stats();
+        recycle(b); // taken before the reset: must saturate, not wrap
+        assert_eq!(buffer_pool_stats().live_f32, 0);
+        set_pooling(prev);
+    }
+
+    #[test]
+    fn trim_releases_cached_buffers() {
+        let _guard = lock();
+        let prev = set_pooling(true);
+        trim_thread_pool();
+        recycle(take_uninit(256));
+        assert_eq!(thread_pool_resident_f32(), 256);
+        trim_thread_pool();
+        assert_eq!(thread_pool_resident_f32(), 0);
+        set_pooling(prev);
+    }
+}

@@ -6,16 +6,56 @@
 
 use crate::gemm::gemm_strided;
 use crate::parallel::{parallel_for, SendPtr, PAR_MIN_ELEMS, PAR_MIN_FLOPS};
+use crate::pool;
 use crate::shape::{
     broadcast_offset, broadcast_reduce_axes, broadcast_shape, broadcast_strides, numel, strides,
 };
 use std::fmt;
 
 /// A dense, contiguous, row-major `f32` tensor.
-#[derive(Clone, PartialEq)]
+///
+/// Storage comes from the tape-scoped buffer pool ([`crate::pool`]): every
+/// constructor draws its `Vec<f32>` from the current thread's free list,
+/// and `Drop` returns it there, so steady-state training reuses the same
+/// buffers step after step instead of hitting the allocator.
+#[derive(PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Vec<usize>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        // With pooling off this is the derived clone (alloc + memcpy);
+        // going through `take_uninit` there would add a wasted memset.
+        let data = if pool::pooling_enabled() {
+            let mut data = pool::take_uninit(self.data.len());
+            data.copy_from_slice(&self.data);
+            data
+        } else {
+            self.data.clone()
+        };
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        if self.data.len() != source.data.len() {
+            pool::recycle(std::mem::take(&mut self.data));
+            self.data = pool::take_uninit(source.data.len());
+        }
+        self.data.copy_from_slice(&source.data);
+        self.shape.clear();
+        self.shape.extend_from_slice(&source.shape);
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        pool::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 /// Which operands of a matrix product are logically transposed.
@@ -62,7 +102,7 @@ impl Tensor {
     /// All-zeros tensor.
     pub fn zeros(shape: &[usize]) -> Self {
         Self {
-            data: vec![0.0; numel(shape)],
+            data: pool::take_zeroed(numel(shape)),
             shape: shape.to_vec(),
         }
     }
@@ -74,8 +114,10 @@ impl Tensor {
 
     /// Tensor filled with a constant.
     pub fn full(shape: &[usize], value: f32) -> Self {
+        let mut data = pool::take_uninit(numel(shape));
+        data.fill(value);
         Self {
-            data: vec![value; numel(shape)],
+            data,
             shape: shape.to_vec(),
         }
     }
@@ -127,9 +169,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning the flat buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning the flat buffer. The buffer leaves
+    /// the pool's custody (it is not recycled on drop).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Value at a multi-dimensional index.
@@ -174,7 +217,7 @@ impl Tensor {
         let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
         let in_strides = strides(&self.shape);
         let out_strides_in_input: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
-        let mut out = vec![0.0; self.data.len()];
+        let mut out = pool::take_uninit(self.data.len());
         let n = self.data.len();
         let mut idx = vec![0usize; out_shape.len()];
         for (linear, slot) in out.iter_mut().enumerate().take(n) {
@@ -212,12 +255,16 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
         let n = self.data.len();
         if n < PAR_MIN_ELEMS {
+            let mut data = pool::take_uninit(n);
+            for (slot, &x) in data.iter_mut().zip(&self.data) {
+                *slot = f(x);
+            }
             return Tensor {
-                data: self.data.iter().map(|&x| f(x)).collect(),
+                data,
                 shape: self.shape.clone(),
             };
         }
-        let mut data = vec![0.0f32; n];
+        let mut data = pool::take_uninit(n);
         let out = SendPtr(data.as_mut_ptr());
         parallel_for(n, PAR_MIN_ELEMS / 4, |r| {
             // SAFETY: chunks are disjoint subranges of 0..n.
@@ -238,18 +285,16 @@ impl Tensor {
         if self.shape == other.shape {
             let n = self.data.len();
             if n < PAR_MIN_ELEMS {
-                let data = self
-                    .data
-                    .iter()
-                    .zip(&other.data)
-                    .map(|(&a, &b)| f(a, b))
-                    .collect();
+                let mut data = pool::take_uninit(n);
+                for ((slot, &a), &b) in data.iter_mut().zip(&self.data).zip(&other.data) {
+                    *slot = f(a, b);
+                }
                 return Tensor {
                     data,
                     shape: self.shape.clone(),
                 };
             }
-            let mut data = vec![0.0f32; n];
+            let mut data = pool::take_uninit(n);
             let out = SendPtr(data.as_mut_ptr());
             parallel_for(n, PAR_MIN_ELEMS / 4, |r| {
                 // SAFETY: chunks are disjoint subranges of 0..n.
@@ -273,7 +318,7 @@ impl Tensor {
         let sa = broadcast_strides(&self.shape, out_shape.len());
         let sb = broadcast_strides(&other.shape, out_shape.len());
         let n = numel(&out_shape);
-        let mut data = vec![0.0f32; n];
+        let mut data = pool::take_uninit(n);
         let out = SendPtr(data.as_mut_ptr());
         parallel_for(n, PAR_MIN_ELEMS / 4, |r| {
             // SAFETY: chunks are disjoint subranges of 0..n.
@@ -477,7 +522,7 @@ impl Tensor {
         let mut out_shape = batch.clone();
         out_shape.push(m);
         out_shape.push(n);
-        let mut out = vec![0.0f32; nbatch * m * n];
+        let mut out = pool::take_uninit(nbatch * m * n);
         if nbatch == 0 || m == 0 || n == 0 {
             return Tensor {
                 data: out,
@@ -489,8 +534,23 @@ impl Tensor {
         // computes an independent gemm on disjoint output rows, so the
         // split affects neither correctness nor the per-element f32
         // accumulation order: results are bitwise identical at any thread
-        // count.
-        let strip = crate::gemm::MC;
+        // count. When full-MC strips would leave workers idle (few batch
+        // entries, m barely above MC), shrink the strip — still a multiple
+        // of MR — to target ~2 items per thread. Strip height never
+        // changes per-element accumulation order (gemm always sums k
+        // ascending in KC-sized partial sums), so this sizing, though a
+        // function of the thread count, preserves bitwise reproducibility
+        // across thread counts.
+        let flops = nbatch * m * n * ka;
+        let threads = crate::parallel::num_threads();
+        let strip = if flops < PAR_MIN_FLOPS || nbatch * m.div_ceil(crate::gemm::MC) >= 2 * threads
+        {
+            crate::gemm::MC
+        } else {
+            let want_strips = (2 * threads).div_ceil(nbatch).max(1);
+            let s = m.div_ceil(want_strips).div_ceil(crate::gemm::MR) * crate::gemm::MR;
+            s.clamp(crate::gemm::MR, crate::gemm::MC)
+        };
         let strips = m.div_ceil(strip);
         let items = nbatch * strips;
         let out_ptr = SendPtr(out.as_mut_ptr());
@@ -515,7 +575,7 @@ impl Tensor {
                 o,
             );
         };
-        if nbatch * m * n * ka < PAR_MIN_FLOPS {
+        if flops < PAR_MIN_FLOPS {
             for item in 0..items {
                 run_item(item);
             }
@@ -561,7 +621,7 @@ impl Tensor {
         let mut out_shape = batch.clone();
         out_shape.push(m);
         out_shape.push(n);
-        let mut out = vec![0.0f32; nbatch * m * n];
+        let mut out = pool::take_zeroed(nbatch * m * n);
         for bi in 0..nbatch {
             let a_off = broadcast_offset(bi, &batch, &sa) * a_mat;
             let b_off = broadcast_offset(bi, &batch, &sb) * b_mat;
@@ -603,10 +663,11 @@ impl Tensor {
         let d = self.shape[axis];
         let mut out_shape = self.shape.clone();
         out_shape[axis] = len;
-        let mut data = Vec::with_capacity(outer * len * inner);
+        let row = len * inner;
+        let mut data = pool::take_uninit(outer * row);
         for o in 0..outer {
             let base = o * d * inner + start * inner;
-            data.extend_from_slice(&self.data[base..base + len * inner]);
+            data[o * row..(o + 1) * row].copy_from_slice(&self.data[base..base + row]);
         }
         Tensor {
             data,
@@ -635,12 +696,14 @@ impl Tensor {
         let total_axis: usize = parts.iter().map(|p| p.shape[axis]).sum();
         let mut out_shape = first.shape.clone();
         out_shape[axis] = total_axis;
-        let mut data = Vec::with_capacity(outer * total_axis * inner);
+        let mut data = pool::take_uninit(outer * total_axis * inner);
+        let mut dst = 0;
         for o in 0..outer {
             for p in parts {
-                let d = p.shape[axis];
-                let base = o * d * inner;
-                data.extend_from_slice(&p.data[base..base + d * inner]);
+                let chunk = p.shape[axis] * inner;
+                let base = o * chunk;
+                data[dst..dst + chunk].copy_from_slice(&p.data[base..base + chunk]);
+                dst += chunk;
             }
         }
         Tensor {
@@ -658,12 +721,14 @@ impl Tensor {
         let d = self.shape[axis];
         let mut out_shape = self.shape.clone();
         out_shape[axis] = indices.len();
-        let mut data = Vec::with_capacity(outer * indices.len() * inner);
+        let mut data = pool::take_uninit(outer * indices.len() * inner);
+        let mut dst = 0;
         for o in 0..outer {
             for &i in indices {
                 assert!(i < d, "index_select index {i} out of range {d}");
                 let base = o * d * inner + i * inner;
-                data.extend_from_slice(&self.data[base..base + inner]);
+                data[dst..dst + inner].copy_from_slice(&self.data[base..base + inner]);
+                dst += inner;
             }
         }
         Tensor {
@@ -704,8 +769,21 @@ impl Tensor {
             t + pad_left
         );
         let t_out = t + pad_left - span;
-        let mut out = vec![0.0f32; b * cout * t_out];
+        let mut out = pool::take_zeroed(b * cout * t_out);
         if out.is_empty() || cin == 0 {
+            return Tensor {
+                data: out,
+                shape: vec![b, cout, t_out],
+            };
+        }
+
+        // Short-row convolutions (dilated stacks shrink t_out to a
+        // handful of steps) spend more time on per-tap slice setup than
+        // on arithmetic. With pooling on, lower them to one GEMM over a
+        // pooled im2col panel instead; see `conv1d_im2col` for why the
+        // result is bitwise identical to the direct kernel below.
+        if pool::pooling_enabled() && t_out < crate::gemm::NR && cin * k <= crate::gemm::KC {
+            self.conv1d_im2col(weight, dilation, pad_left, t_out, &mut out);
             return Tensor {
                 data: out,
                 shape: vec![b, cout, t_out],
@@ -763,6 +841,79 @@ impl Tensor {
         }
     }
 
+    /// Im2col lowering of [`Self::conv1d`]: builds a pooled
+    /// `[cin*k, b*t_out]` column panel (taps ordered `(ci, ki)`, padding
+    /// slots zero) and computes `weight[cout, cin*k] @ panel` as one GEMM,
+    /// scattering `[co, (bi, to)]` rows back to `[bi, co, to]` layout.
+    ///
+    /// Bitwise equivalence with the direct kernel: both accumulate each
+    /// output element over `(ci, ki)` ascending in a single flat
+    /// `+0.0`-seeded running sum (the caller guarantees `cin*k <= KC`, so
+    /// the GEMM never splits the reduction into KC partials), and the
+    /// taps the direct kernel clamps away appear here as `w * 0.0` terms —
+    /// adding a signed zero to a `+0.0`-seeded sum never changes its bits.
+    fn conv1d_im2col(
+        &self,
+        weight: &Tensor,
+        dilation: usize,
+        pad_left: usize,
+        t_out: usize,
+        out: &mut [f32],
+    ) {
+        let (b, cin, t) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (cout, _, k) = (weight.shape[0], weight.shape[1], weight.shape[2]);
+        let kk = cin * k;
+        let cols_n = b * t_out;
+        let mut cols = pool::take_zeroed(kk * cols_n);
+        for ci in 0..cin {
+            for ki in 0..k {
+                let shift = ki * dilation;
+                let to_lo = pad_left.saturating_sub(shift);
+                let to_hi = t_out.min((t + pad_left).saturating_sub(shift));
+                if to_lo >= to_hi {
+                    continue;
+                }
+                let x_lo = to_lo + shift - pad_left;
+                let row = &mut cols[(ci * k + ki) * cols_n..][..cols_n];
+                for bi in 0..b {
+                    let src = &self.data[(bi * cin + ci) * t + x_lo..][..to_hi - to_lo];
+                    row[bi * t_out + to_lo..bi * t_out + to_hi].copy_from_slice(src);
+                }
+            }
+        }
+
+        let mut tmp = pool::take_uninit(cout * cols_n);
+        let wd = weight.data();
+        let flops = cout * kk * cols_n;
+        let threads = crate::parallel::num_threads();
+        if flops < PAR_MIN_FLOPS || threads == 1 {
+            gemm_strided(cout, kk, cols_n, wd, kk, 1, &cols, cols_n, 1, &mut tmp);
+        } else {
+            // Row strips of the single GEMM: disjoint output rows, and
+            // strip height never affects per-element accumulation order.
+            let strip = cout.div_ceil(2 * threads).max(1);
+            let strips = cout.div_ceil(strip);
+            let tmp_ptr = SendPtr(tmp.as_mut_ptr());
+            parallel_for(strips, 1, |r| {
+                for s in r {
+                    let r0 = s * strip;
+                    let rows = strip.min(cout - r0);
+                    // SAFETY: strip s owns tmp rows [r0, r0 + rows).
+                    let o = unsafe { tmp_ptr.slice(r0 * cols_n, rows * cols_n) };
+                    gemm_strided(rows, kk, cols_n, &wd[r0 * kk..], kk, 1, &cols, cols_n, 1, o);
+                }
+            });
+        }
+        for bi in 0..b {
+            for co in 0..cout {
+                let src = &tmp[co * cols_n + bi * t_out..][..t_out];
+                out[(bi * cout + co) * t_out..][..t_out].copy_from_slice(src);
+            }
+        }
+        pool::recycle(tmp);
+        pool::recycle(cols);
+    }
+
     /// Naive serial conv1d kept as the correctness reference for the
     /// parallel kernel (branch-free on values: no zero-weight shortcut).
     pub fn conv1d_reference(&self, weight: &Tensor, dilation: usize, pad_left: usize) -> Self {
@@ -778,7 +929,7 @@ impl Tensor {
             t + pad_left
         );
         let t_out = t + pad_left - span;
-        let mut out = vec![0.0f32; b * cout * t_out];
+        let mut out = pool::take_zeroed(b * cout * t_out);
         for bi in 0..b {
             for co in 0..cout {
                 let o_base = (bi * cout + co) * t_out;
@@ -818,7 +969,7 @@ impl Tensor {
         let outer: usize = self.shape[..axis].iter().product();
         let inner: usize = self.shape[axis + 1..].iter().product();
         let d = self.shape[axis];
-        let mut out = vec![0.0f32; self.data.len()];
+        let mut out = pool::take_uninit(self.data.len());
         for o in 0..outer {
             for i in 0..inner {
                 let idx = |j: usize| o * d * inner + j * inner + i;

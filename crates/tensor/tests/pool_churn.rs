@@ -1,0 +1,118 @@
+//! Property-style churn test for the buffer pool: drive a long random
+//! sequence of takes and recycles across many lengths (xoshiro-seeded,
+//! like `urcl-json`'s `proptest_roundtrip`) and check the two invariants
+//! the rest of the crate relies on:
+//!
+//! 1. **exact lengths** — a handed-out buffer always has precisely the
+//!    requested length, never a stale length from another bucket;
+//! 2. **no aliasing while live** — two buffers that are simultaneously
+//!    outstanding never share memory. Each live buffer is filled with a
+//!    unique tag and must still hold it when everything else has been
+//!    churned in between.
+//!
+//! The pool's free lists are thread-local and [`set_pooling`] is process
+//! global, so tests serialize on a file-local mutex.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use urcl_tensor::pool::{recycle, take_uninit, take_zeroed, trim_thread_pool};
+use urcl_tensor::{set_pooling, Rng, Tensor};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Lengths deliberately collide (several repeats) so buckets see real
+/// reuse, and range from tiny to larger-than-grain.
+fn draw_len(rng: &mut Rng) -> usize {
+    const LENS: [usize; 10] = [1, 2, 3, 7, 7, 64, 100, 100, 4096, 20_000];
+    LENS[rng.below(LENS.len())]
+}
+
+fn assert_tagged(buf: &[f32], tag: f32, len: usize) {
+    assert_eq!(buf.len(), len, "buffer changed length while live");
+    for (i, &v) in buf.iter().enumerate() {
+        assert_eq!(
+            v.to_bits(),
+            tag.to_bits(),
+            "live buffer clobbered at index {i}: expected tag {tag}, got {v} \
+             (another buffer aliased this memory)"
+        );
+    }
+}
+
+#[test]
+fn churned_buffers_keep_exact_lengths_and_never_alias() {
+    let _guard = lock();
+    let prev = set_pooling(true);
+    trim_thread_pool();
+
+    let mut rng = Rng::seed_from_u64(0x5EED_7);
+    // (buffer, tag, requested length) for every outstanding take.
+    let mut live: Vec<(Vec<f32>, f32, usize)> = Vec::new();
+    let mut next_tag = 1.0f32;
+
+    for step in 0..4000 {
+        if live.is_empty() || rng.bernoulli(0.55) {
+            let len = draw_len(&mut rng);
+            let mut buf = if rng.bernoulli(0.5) {
+                let b = take_zeroed(len);
+                assert!(
+                    b.iter().all(|v| v.to_bits() == 0),
+                    "step {step}: take_zeroed handed out dirty memory"
+                );
+                b
+            } else {
+                take_uninit(len)
+            };
+            assert_eq!(buf.len(), len, "step {step}: wrong length handed out");
+            let tag = next_tag;
+            next_tag += 1.0;
+            buf.fill(tag);
+            live.push((buf, tag, len));
+        } else {
+            let idx = rng.below(live.len());
+            let (buf, tag, len) = live.swap_remove(idx);
+            assert_tagged(&buf, tag, len);
+            recycle(buf);
+        }
+    }
+
+    for (buf, tag, len) in live.drain(..) {
+        assert_tagged(&buf, tag, len);
+        recycle(buf);
+    }
+
+    trim_thread_pool();
+    set_pooling(prev);
+}
+
+/// The same aliasing property one level up: pool-backed [`Tensor`] clones
+/// must be independent copies, and dropped tensors must not leave their
+/// old contents visible through later allocations of a different shape.
+#[test]
+fn tensor_clones_stay_independent_under_churn() {
+    let _guard = lock();
+    let prev = set_pooling(true);
+
+    let mut rng = Rng::seed_from_u64(0x5EED_8);
+    for _ in 0..300 {
+        let len = draw_len(&mut rng);
+        let original = rng.uniform_tensor(&[len], -3.0, 3.0);
+        let reference: Vec<f32> = original.data().to_vec();
+        let mut copy = original.clone();
+        // Mutating the clone (and dropping fresh temporaries of the same
+        // length, which recycle into the same bucket) must not write
+        // through to the original.
+        copy.data_mut().fill(f32::NAN);
+        drop(copy);
+        let churn = Tensor::zeros(&[len]);
+        drop(churn);
+        assert_eq!(original.data(), &reference[..], "clone aliased its source");
+    }
+
+    set_pooling(prev);
+}

@@ -12,7 +12,9 @@
 //! * **a per-period recorder** — [`record_period`] captures MAE/RMSE/MAPE,
 //!   replay-buffer occupancy and RMIR sample counts for each incremental set,
 //! * **JSON export** — [`snapshot`] renders everything (plus the tensor
-//!   thread-pool dispatch statistics) as a schema-stable `urcl-json` value.
+//!   thread-pool dispatch statistics and buffer-pool telemetry:
+//!   `pool_hit`, `pool_miss`, `pool_bytes_recycled`,
+//!   `pool_peak_resident_f32`) as a schema-stable `urcl-json` value.
 //!
 //! Tracing is globally off by default. Every entry point checks a single
 //! relaxed atomic first, so the disabled cost is one load + branch — small
@@ -118,10 +120,12 @@ pub(crate) fn with_state<T>(f: impl FnOnce(&mut TraceState) -> T) -> T {
 }
 
 /// Clears all collected spans, metrics and period records, and resets the
-/// tensor thread-pool dispatch counters. Does not change the enabled flag.
+/// tensor thread-pool dispatch counters and buffer-pool counters. Does
+/// not change the enabled flag.
 pub fn reset() {
     with_state(|s| *s = TraceState::default());
     urcl_tensor::reset_pool_stats();
+    urcl_tensor::reset_buffer_pool_stats();
 }
 
 /// Aggregated span statistics collected so far, keyed by full path.
@@ -146,6 +150,7 @@ pub fn gauge_value(name: &str) -> Option<f64> {
 /// order so the output is deterministic.
 pub fn snapshot() -> Value {
     let pool = urcl_tensor::pool_stats();
+    let buf = urcl_tensor::buffer_pool_stats();
     with_state(|s| {
         let mut spans = Value::object();
         for (path, st) in &s.spans {
@@ -189,7 +194,11 @@ pub fn snapshot() -> Value {
                 Value::object()
                     .with("par_calls", Value::Num(pool.par_calls as f64))
                     .with("inline_calls", Value::Num(pool.inline_calls as f64))
-                    .with("chunks_dispatched", Value::Num(pool.chunks_dispatched as f64)),
+                    .with("chunks_dispatched", Value::Num(pool.chunks_dispatched as f64))
+                    .with("pool_hit", Value::Num(buf.hits as f64))
+                    .with("pool_miss", Value::Num(buf.misses as f64))
+                    .with("pool_bytes_recycled", Value::Num(buf.bytes_recycled as f64))
+                    .with("pool_peak_resident_f32", Value::Num(buf.peak_live_f32 as f64)),
             )
     })
 }

@@ -13,12 +13,16 @@
 # rotation and writes BENCH_checkpoint.json (latency + document size),
 # and bench_serve, which drives the batched inference server across
 # (threads, max_batch) cells and writes BENCH_serve.json (throughput +
-# client-side p50/p95/p99 latency).
+# client-side p50/p95/p99 latency), and bench_train_step, which measures
+# end-to-end training-step throughput over {1,4} threads x buffer
+# pooling {off,on} and writes BENCH_train_step.json (the pooling-speedup
+# acceptance numbers).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release --offline -p urcl-bench
 ./target/release/bench_framework "$@" --trace BENCH_trace.json
 ./target/release/bench_checkpoint "$@"
 ./target/release/bench_serve "$@"
-./target/release/validate_json BENCH_trace.json BENCH_checkpoint.json BENCH_serve.json
+./target/release/bench_train_step "$@"
+./target/release/validate_json BENCH_trace.json BENCH_checkpoint.json BENCH_serve.json BENCH_train_step.json
 exec ./target/release/bench_tensor_ops "$@"

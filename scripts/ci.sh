@@ -45,6 +45,11 @@ fi
 echo "== traced framework run =="
 ./target/release/bench_framework --quick --trace BENCH_trace.json
 
+echo "== train-step throughput smoke (pooling on/off determinism) =="
+# Quick schedule: asserts bitwise-identical losses across all four
+# (threads, pooling) cells and zero steady-state pool misses.
+./target/release/bench_train_step --quick
+
 echo "== JSON round-trip + trace schema validation =="
 files=(BENCH_trace.json)
 for f in BENCH_*.json results/*.json; do

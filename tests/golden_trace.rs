@@ -127,6 +127,24 @@ fn traced_pipeline_matches_golden_schema_and_mae() {
         "replay occupancy gauge not set"
     );
 
+    // --- buffer-pool telemetry: populated by the traced training run ---
+    let pool = doc.get("pool").expect("pool");
+    for key in ["pool_hit", "pool_miss", "pool_bytes_recycled", "pool_peak_resident_f32"] {
+        let v = pool.get(key).and_then(Value::as_f64);
+        assert!(
+            v.is_some_and(|v| v >= 0.0),
+            "pool counter {key} missing or negative: {v:?}"
+        );
+    }
+    assert!(
+        pool.get("pool_hit").and_then(Value::as_u64).unwrap() > 0,
+        "training with pooling on should recycle buffers"
+    );
+    assert!(
+        pool.get("pool_peak_resident_f32").and_then(Value::as_u64).unwrap() > 0,
+        "peak resident watermark never moved"
+    );
+
     // --- period records: one per streaming set, fields populated ---
     let periods = doc.get("periods").and_then(Value::as_array).expect("periods");
     assert_eq!(periods.len(), report.sets.len());
