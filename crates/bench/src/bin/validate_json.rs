@@ -62,6 +62,8 @@ fn validate_trace(doc: &Value) -> Result<(), String> {
         "par_calls",
         "inline_calls",
         "chunks_dispatched",
+        "par_items",
+        "par_wait_ns",
         "pool_hit",
         "pool_miss",
         "pool_bytes_recycled",
@@ -72,6 +74,20 @@ fn validate_trace(doc: &Value) -> Result<(), String> {
             Some(v) => return Err(format!("pool counter {key:?} negative: {v}")),
             None => return Err(format!("pool counter {key:?} missing or non-numeric")),
         }
+    }
+    // SIMD/host gauges added with the parallel-region telemetry:
+    // `simd_isa` is the active ISA tier code (0 = scalar, 1 = AVX2,
+    // 2 = AVX2+FMA-detected) and `host_threads` the physical parallelism
+    // the worker pool saw.
+    match doc.get("simd_isa").and_then(Value::as_f64) {
+        Some(v) if (0.0..=2.0).contains(&v) => {}
+        Some(v) => return Err(format!("simd_isa out of range: {v}")),
+        None => return Err("trace key \"simd_isa\" missing or non-numeric".into()),
+    }
+    match doc.get("host_threads").and_then(Value::as_f64) {
+        Some(v) if v >= 1.0 => {}
+        Some(v) => return Err(format!("host_threads out of range: {v}")),
+        None => return Err("trace key \"host_threads\" missing or non-numeric".into()),
     }
     Ok(())
 }

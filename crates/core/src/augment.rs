@@ -383,7 +383,7 @@ mod tests {
 
     #[test]
     fn time_flip_reverses_window() {
-        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[1, 3, 2, 2]);
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect::<Vec<f32>>(), &[1, 3, 2, 2]);
         let mut rng = Rng::seed_from_u64(1);
         let flipped = time_shift(&x, TimeShiftKind::Flip, &mut rng);
         assert_eq!(flipped.at(&[0, 0, 0, 0]), x.at(&[0, 2, 0, 0]));

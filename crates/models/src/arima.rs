@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn window_shorter_than_lags_rejected() {
         let t = 50;
-        let series = Tensor::from_vec((0..t).map(|v| v as f32).collect(), &[t, 1]);
+        let series = Tensor::from_vec((0..t).map(|v| v as f32).collect::<Vec<f32>>(), &[t, 1]);
         let model = Arima::fit(&series, 4, 1);
         let tiny = series.narrow(0, 0, 3);
         let result = std::panic::catch_unwind(|| model.forecast(&tiny));

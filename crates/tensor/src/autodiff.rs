@@ -123,6 +123,41 @@ pub enum Op {
     Detach(usize),
 }
 
+/// Profile index of an op kind (aligned with [`crate::opprof::OP_NAMES`]);
+/// `None` for pure tape bookkeeping nodes.
+fn kind_index(op: &Op) -> Option<usize> {
+    Some(match op {
+        Op::Leaf | Op::Constant => return None,
+        Op::Add(..) => 0,
+        Op::Sub(..) => 1,
+        Op::Mul(..) => 2,
+        Op::Div(..) => 3,
+        Op::Neg(..) => 4,
+        Op::Scale(..) => 5,
+        Op::AddScalar(..) => 6,
+        Op::PowF(..) => 7,
+        Op::Exp(..) => 8,
+        Op::Ln(..) => 9,
+        Op::Sqrt(..) => 10,
+        Op::Abs(..) => 11,
+        Op::Relu(..) => 12,
+        Op::LeakyRelu(..) => 13,
+        Op::Sigmoid(..) => 14,
+        Op::Tanh(..) => 15,
+        Op::MatMul(..) => 16,
+        Op::Permute(..) => 17,
+        Op::Reshape(..) => 18,
+        Op::SumAxes { .. } => 19,
+        Op::SumAll(..) => 20,
+        Op::MeanAll(..) => 21,
+        Op::Softmax(..) => 22,
+        Op::Concat { .. } => 23,
+        Op::Narrow { .. } => 24,
+        Op::Conv1d { .. } => 25,
+        Op::Detach(..) => 26,
+    })
+}
+
 struct Node {
     value: Tensor,
     op: Op,
@@ -221,9 +256,15 @@ impl Tape {
         // `pool_determinism` asserts bitwise equality, `bench_train_step`
         // measures the speed difference.
         let reuse = pool::pooling_enabled();
+        let prof = crate::opprof::op_profile_enabled();
         for i in (0..=loss.idx).rev() {
             let Some(g) = grads[i].take() else { continue };
             let node = &nodes[i];
+            let t0 = if prof {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
             match &node.op {
                 Op::Leaf | Op::Constant => {
                     grads[i] = Some(g); // keep for retrieval
@@ -247,7 +288,7 @@ impl Tape {
                         accumulate(&mut grads, *a, g.reduce_to_shape(nodes[*a].value.shape()));
                     }
                     if reuse && nodes[*b].value.shape() == g.shape() {
-                        fused_map1(&mut grads, *b, &g, |gv| gv * -1.0);
+                        fused_scale_acc(&mut grads, *b, &g, -1.0);
                     } else {
                         accumulate(
                             &mut grads,
@@ -260,8 +301,8 @@ impl Tape {
                     let av = &nodes[*a].value;
                     let bv = &nodes[*b].value;
                     if reuse && av.shape() == g.shape() && bv.shape() == g.shape() {
-                        fused_map2(&mut grads, *a, &g, bv, |gv, b| gv * b);
-                        fused_map2(&mut grads, *b, &g, av, |gv, a| gv * a);
+                        fused_mul_acc(&mut grads, *a, &g, bv);
+                        fused_mul_acc(&mut grads, *b, &g, av);
                     } else {
                         let ga = g.mul(bv).reduce_to_shape(av.shape());
                         let gb = g.mul(av).reduce_to_shape(bv.shape());
@@ -292,7 +333,7 @@ impl Tape {
                 }
                 Op::Neg(a) => {
                     if reuse {
-                        fused_map1(&mut grads, *a, &g, |gv| gv * -1.0);
+                        fused_scale_acc(&mut grads, *a, &g, -1.0);
                     } else {
                         accumulate(&mut grads, *a, g.scale(-1.0));
                     }
@@ -300,7 +341,7 @@ impl Tape {
                 Op::Scale(a, c) => {
                     let c = *c;
                     if reuse {
-                        fused_map1(&mut grads, *a, &g, move |gv| gv * c);
+                        fused_scale_acc(&mut grads, *a, &g, c);
                     } else {
                         accumulate(&mut grads, *a, g.scale(c));
                     }
@@ -501,6 +542,9 @@ impl Tape {
                 }
                 Op::Detach(_) => { /* gradient intentionally dropped */ }
             }
+            if let (Some(t0), Some(k)) = (t0, kind_index(&node.op)) {
+                crate::opprof::record_backward(k, t0.elapsed().as_nanos() as u64);
+            }
         }
         Gradients { grads }
     }
@@ -615,6 +659,82 @@ fn fused_map3(
     let ad = a.data();
     let bd = b.data();
     fused_apply(grads, idx, g.shape(), &|e| f(gd[e], ad[e], bd[e]));
+}
+
+/// `grads[idx] (+)= g * x` elementwise through the SIMD seam
+/// ([`crate::simd::mul_acc`]). The scalar fallback inside the seam is the
+/// literal loop `fused_map2` would run (`dst (+)= g[e] * x[e]`, ascending
+/// `e`), and the AVX2 arm does mul-then-add per lane in the same order, so
+/// all three paths are bitwise identical. With the fast kernels disabled
+/// (`URCL_SIMD=0`) this routes through [`fused_map2`] so the disabled path
+/// stays byte-for-byte the seed code path.
+fn fused_mul_acc(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor, x: &Tensor) {
+    if !crate::simd::fast_kernels() {
+        return fused_map2(grads, idx, g, x, |gv, xv| gv * xv);
+    }
+    debug_assert_eq!(g.shape(), x.shape(), "fused_mul_acc shape mismatch");
+    let gd = g.data();
+    let xd = x.data();
+    let n = gd.len();
+    match &mut grads[idx] {
+        Some(existing) => {
+            debug_assert_eq!(existing.shape(), g.shape(), "fused gradient shape mismatch");
+            let dst = existing.data_mut();
+            if n < PAR_MIN_ELEMS {
+                crate::simd::mul_acc(dst, gd, xd, true);
+            } else {
+                par_fill(dst, PAR_MIN_ELEMS / 4, |chunk, r| {
+                    crate::simd::mul_acc(chunk, &gd[r.clone()], &xd[r], true);
+                });
+            }
+        }
+        slot @ None => {
+            let mut data = pool::take_uninit(n);
+            if n < PAR_MIN_ELEMS {
+                crate::simd::mul_acc(&mut data, gd, xd, false);
+            } else {
+                par_fill(&mut data, PAR_MIN_ELEMS / 4, |chunk, r| {
+                    crate::simd::mul_acc(chunk, &gd[r.clone()], &xd[r], false);
+                });
+            }
+            *slot = Some(Tensor::from_vec(data, g.shape()));
+        }
+    }
+}
+
+/// `grads[idx] (+)= g * c` elementwise through the SIMD seam
+/// ([`crate::simd::scale_acc`]); same bitwise-parity contract as
+/// [`fused_mul_acc`], with [`fused_map1`] as the `URCL_SIMD=0` route.
+fn fused_scale_acc(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor, c: f32) {
+    if !crate::simd::fast_kernels() {
+        return fused_map1(grads, idx, g, move |gv| gv * c);
+    }
+    let gd = g.data();
+    let n = gd.len();
+    match &mut grads[idx] {
+        Some(existing) => {
+            debug_assert_eq!(existing.shape(), g.shape(), "fused gradient shape mismatch");
+            let dst = existing.data_mut();
+            if n < PAR_MIN_ELEMS {
+                crate::simd::scale_acc(dst, gd, c, true);
+            } else {
+                par_fill(dst, PAR_MIN_ELEMS / 4, |chunk, r| {
+                    crate::simd::scale_acc(chunk, &gd[r], c, true);
+                });
+            }
+        }
+        slot @ None => {
+            let mut data = pool::take_uninit(n);
+            if n < PAR_MIN_ELEMS {
+                crate::simd::scale_acc(&mut data, gd, c, false);
+            } else {
+                par_fill(&mut data, PAR_MIN_ELEMS / 4, |chunk, r| {
+                    crate::simd::scale_acc(chunk, &gd[r], c, false);
+                });
+            }
+            *slot = Some(Tensor::from_vec(data, g.shape()));
+        }
+    }
 }
 
 /// Embeds a gradient of the narrowed slice back into a zero tensor of the
@@ -927,10 +1047,19 @@ impl<'t> Var<'t> {
     }
 
     fn unary(self, f: impl FnOnce(&Tensor) -> Tensor, op: Op) -> Var<'t> {
+        let prof = crate::opprof::op_profile_enabled();
+        let t0 = if prof {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let value = {
             let nodes = self.tape.nodes.borrow();
             f(&nodes[self.idx].value)
         };
+        if let (Some(t0), Some(k)) = (t0, kind_index(&op)) {
+            crate::opprof::record_forward(k, t0.elapsed().as_nanos() as u64);
+        }
         self.tape.push(value, op)
     }
 
@@ -939,10 +1068,19 @@ impl<'t> Var<'t> {
             std::ptr::eq(self.tape, other.tape),
             "variables belong to different tapes"
         );
+        let prof = crate::opprof::op_profile_enabled();
+        let t0 = if prof {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let value = {
             let nodes = self.tape.nodes.borrow();
             f(&nodes[self.idx].value, &nodes[other.idx].value)
         };
+        if let (Some(t0), Some(k)) = (t0, kind_index(&op)) {
+            crate::opprof::record_forward(k, t0.elapsed().as_nanos() as u64);
+        }
         self.tape.push(value, op)
     }
 

@@ -61,6 +61,12 @@ pub const DIRECT_M_MAX: usize = 32;
 /// pooled row-major scratch so the direct inner loop vectorizes.
 pub const SMALL_B_ELEMS: usize = 8192;
 
+/// Upper bound (elements) on the pooled scratch used to transpose a
+/// column-strided A into row-major before a direct small GEMM (1 MiB of
+/// f32). Above this the copy stops being L2-resident and the strided walk
+/// is no worse.
+pub const A_SCRATCH_ELEMS: usize = 1 << 18;
+
 /// `out[m x n] = A[m x k] * B[k x n]` with arbitrary element strides on A
 /// and B; `out` is contiguous row-major and fully overwritten.
 ///
@@ -99,22 +105,52 @@ pub fn gemm_strided(
     // kernels produce bitwise identical elements (see [`gemm_small`]),
     // and the transpose is a pure copy, so it cannot change bits either.
     let pooled = crate::pool::pooling_enabled();
+    let fast = pooled && crate::simd::fast_kernels();
     let tiny_strided_b = b_cs != 1 && k * n <= SMALL_B_ELEMS;
-    let thin = pooled && m <= DIRECT_M_MAX && (b_cs == 1 || tiny_strided_b);
+    // Skinny outputs (n within one micro-tile, B L1-resident) route
+    // direct at *any* height: the micro-tile would multiply mostly
+    // padding, and the direct column kernel keeps the whole output row in
+    // registers. Gated on the fast-kernel switch so `URCL_SIMD=0`
+    // reproduces the previous routing exactly.
+    let skinny = fast && n <= NR && k * n <= SMALL_B_ELEMS;
+    let thin = pooled && (m <= DIRECT_M_MAX || skinny) && (b_cs == 1 || tiny_strided_b);
     if m * n * k < SMALL_GEMM_FLOPS || thin {
+        // Column-strided A with deep k (the `dB = A^T @ dC` backward
+        // shape) makes the direct kernel gather one cache line per
+        // element. Transpose A into contiguous pooled scratch first —
+        // pure data movement, so it cannot change a bit of the result.
+        let transpose_a = fast && a_rs == 1 && a_cs != 1 && k >= 64 && m * k <= A_SCRATCH_ELEMS;
+        let at = if transpose_a {
+            let mut at = crate::pool::take_uninit(m * k);
+            crate::simd::transpose_gather(a, a_cs, &mut at, m, k);
+            Some(at)
+        } else {
+            None
+        };
+        let (aa, aa_rs, aa_cs): (&[f32], usize, usize) = match &at {
+            Some(at) => (at, k, 1),
+            None => (a, a_rs, a_cs),
+        };
         if pooled && tiny_strided_b {
             let mut bt = crate::pool::take_uninit(k * n);
-            for p in 0..k {
-                let row = &mut bt[p * n..(p + 1) * n];
-                let base = p * b_rs;
-                for (j, slot) in row.iter_mut().enumerate() {
-                    *slot = b[base + j * b_cs];
+            if fast && b_rs == 1 {
+                crate::simd::transpose_gather(b, b_cs, &mut bt, k, n);
+            } else {
+                for p in 0..k {
+                    let row = &mut bt[p * n..(p + 1) * n];
+                    let base = p * b_rs;
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot = b[base + j * b_cs];
+                    }
                 }
             }
-            gemm_small(m, k, n, a, a_rs, a_cs, &bt, n, 1, out);
+            gemm_small(m, k, n, aa, aa_rs, aa_cs, &bt, n, 1, out);
             crate::pool::recycle(bt);
         } else {
-            gemm_small(m, k, n, a, a_rs, a_cs, b, b_rs, b_cs, out);
+            gemm_small(m, k, n, aa, aa_rs, aa_cs, b, b_rs, b_cs, out);
+        }
+        if let Some(at) = at {
+            crate::pool::recycle(at);
         }
         return;
     }
@@ -172,6 +208,12 @@ pub fn gemm_strided(
 /// it in memory and runs ~15x slower on the target CPU.
 #[inline]
 fn microkernel(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if crate::simd::intrinsic_arms() {
+        // SAFETY: AVX2 presence checked by `intrinsic_arms`.
+        unsafe { microkernel_avx2(kc, apanel, bpanel, acc) };
+        return;
+    }
     let mut rows = [[0.0f32; NR]; MR];
     for p in 0..kc {
         let arow: &[f32; MR] = apanel[p * MR..p * MR + MR].try_into().unwrap();
@@ -184,6 +226,44 @@ fn microkernel(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; 
         }
     }
     *acc = rows;
+}
+
+/// Explicit AVX2 micro-kernel: the `MR x NR` tile as two `MR x 16`
+/// half-tiles of 12 `__m256` accumulators each, `mul` + `add` per lane
+/// (never FMA — contraction would fork the bits from the scalar twin).
+/// Per output element this performs the identical k-ascending
+/// multiply-then-add sequence as the scalar loop, so results are bitwise
+/// equal; `tests/simd_parity.rs` forces this arm on and asserts it.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn microkernel_avx2(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+    debug_assert!(apanel.len() >= kc * MR && bpanel.len() >= kc * NR);
+    for half in 0..2 {
+        let j0 = half * 16;
+        // SAFETY: panel reads stay below kc*MR / kc*NR; acc rows are NR
+        // wide so j0 + 15 is in bounds.
+        unsafe {
+            let mut c = [[_mm256_setzero_ps(); 2]; MR];
+            let (ap, bp) = (apanel.as_ptr(), bpanel.as_ptr());
+            for p in 0..kc {
+                let b0 = _mm256_loadu_ps(bp.add(p * NR + j0));
+                let b1 = _mm256_loadu_ps(bp.add(p * NR + j0 + 8));
+                for (r, cr) in c.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add(p * MR + r));
+                    cr[0] = _mm256_add_ps(cr[0], _mm256_mul_ps(av, b0));
+                    cr[1] = _mm256_add_ps(cr[1], _mm256_mul_ps(av, b1));
+                }
+            }
+            for (r, cr) in c.iter().enumerate() {
+                _mm256_storeu_ps(acc[r].as_mut_ptr().add(j0), cr[0]);
+                _mm256_storeu_ps(acc[r].as_mut_ptr().add(j0 + 8), cr[1]);
+            }
+        }
+    }
 }
 
 /// Packs `A[ic..ic+mc, pc..pc+kc]` into MR-row micro-panels: panel `ip`
@@ -360,6 +440,13 @@ fn gemm_small_cols<const W: usize>(
     b_rs: usize,
     out: &mut [f32],
 ) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if W % 8 == 0 && W <= 32 && kc > 0 && crate::simd::intrinsic_arms() {
+        // SAFETY: AVX2 presence checked by `intrinsic_arms`; W is a
+        // multiple of 8 within the 4-register accumulator.
+        unsafe { gemm_small_cols_avx2::<W>(m, pc, kc, n, j0, a, a_rs, a_cs, b, b_rs, out) };
+        return;
+    }
     for i in 0..m {
         let mut acc = [0.0f32; W];
         for p in pc..pc + kc {
@@ -371,6 +458,55 @@ fn gemm_small_cols<const W: usize>(
         }
         for (o, &v) in out[i * n + j0..][..W].iter_mut().zip(&acc) {
             *o += v;
+        }
+    }
+}
+
+/// AVX2 arm of [`gemm_small_cols`]: the W-wide accumulator as `W/8`
+/// `__m256` registers, broadcast-A times loaded-B with `mul` + `add` per
+/// lane (never FMA). Bitwise identical to the scalar twin: each lane runs
+/// the same k-ascending multiply-then-add sequence from a `+0.0` seed.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_small_cols_avx2<const W: usize>(
+    m: usize,
+    pc: usize,
+    kc: usize,
+    n: usize,
+    j0: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+    let lanes = W / 8;
+    for i in 0..m {
+        // Bounds-check the row the way the scalar arm's slicing would.
+        let _ = &b[(pc + kc - 1) * b_rs + j0..][..W];
+        let _ = &out[i * n + j0..][..W];
+        // SAFETY: rows just bounds-checked; lanes <= 4.
+        unsafe {
+            let mut acc = [_mm256_setzero_ps(); 4];
+            for p in pc..pc + kc {
+                let av = _mm256_set1_ps(a[i * a_rs + p * a_cs]);
+                let bp = b.as_ptr().add(p * b_rs + j0);
+                for (w, slot) in acc.iter_mut().enumerate().take(lanes) {
+                    let bv = _mm256_loadu_ps(bp.add(8 * w));
+                    *slot = _mm256_add_ps(*slot, _mm256_mul_ps(av, bv));
+                }
+            }
+            let op = out.as_mut_ptr().add(i * n + j0);
+            for (w, slot) in acc.iter().enumerate().take(lanes) {
+                let o = _mm256_loadu_ps(op.add(8 * w));
+                _mm256_storeu_ps(op.add(8 * w), _mm256_add_ps(o, *slot));
+            }
         }
     }
 }
@@ -528,6 +664,49 @@ mod tests {
                 crate::pool::set_pooling(prev);
             }
         }
+    }
+
+    #[test]
+    fn fast_routing_and_intrinsic_arms_are_bitwise_identical() {
+        let prev_pool = crate::pool::set_pooling(true);
+        let prev_simd = crate::simd::set_simd(true);
+        // Shapes hitting the new routes: TN deep-k strided A, skinny tall
+        // NN, tiny strided B, plus a tiled-path shape for the micro-kernel
+        // arm. (m, k, n, a_rs, a_cs, b_rs, b_cs)
+        for &(m, k, n, a_rs, a_cs, b_rs, b_cs) in &[
+            (16usize, 2112usize, 16usize, 1usize, 16usize, 16usize, 1usize),
+            (2112, 16, 16, 16, 1, 16, 1),
+            (2112, 16, 16, 16, 1, 1, 16),
+            (16, 300, 8, 1, 16, 8, 1),
+            (130, 300, 270, 300, 1, 270, 1),
+        ] {
+            let a = fill(m * k, 21 + m as u64);
+            let b = fill(k * n, 22 + n as u64);
+            let mut base = vec![0.0f32; m * n];
+            crate::simd::set_simd(false);
+            gemm_strided(m, k, n, &a, a_rs, a_cs, &b, b_rs, b_cs, &mut base);
+            crate::simd::set_simd(true);
+            let mut fast = vec![0.0f32; m * n];
+            gemm_strided(m, k, n, &a, a_rs, a_cs, &b, b_rs, b_cs, &mut fast);
+            let forced = crate::simd::set_force_intrinsics(true);
+            let mut arms = vec![0.0f32; m * n];
+            gemm_strided(m, k, n, &a, a_rs, a_cs, &b, b_rs, b_cs, &mut arms);
+            crate::simd::set_force_intrinsics(forced);
+            for i in 0..m * n {
+                assert_eq!(
+                    base[i].to_bits(),
+                    fast[i].to_bits(),
+                    "fast routing diverged at {i} for {m}x{k}x{n}"
+                );
+                assert_eq!(
+                    base[i].to_bits(),
+                    arms[i].to_bits(),
+                    "intrinsic arm diverged at {i} for {m}x{k}x{n}"
+                );
+            }
+        }
+        crate::simd::set_simd(prev_simd);
+        crate::pool::set_pooling(prev_pool);
     }
 
     #[test]

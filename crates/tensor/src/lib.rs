@@ -38,20 +38,27 @@
 pub mod autodiff;
 pub mod gemm;
 pub mod gradcheck;
+pub mod opprof;
 pub mod optim;
 pub mod parallel;
 pub mod params;
 pub mod pool;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use autodiff::{Session, Tape, Var};
+pub use opprof::{op_profile, reset_op_profile, set_op_profile, OpProfileRow};
 pub use optim::{Adam, AdamState, Optimizer, Sgd};
-pub use parallel::{num_threads, parallel_for, pool_stats, reset_pool_stats, set_threads, PoolStats};
+pub use parallel::{
+    host_parallelism, num_threads, parallel_for, pool_stats, reset_pool_stats, set_threads,
+    PoolStats,
+};
 pub use pool::{
     buffer_pool_stats, pooling_enabled, reset_buffer_pool_stats, set_pooling, BufferPoolStats,
 };
+pub use simd::{active_isa, detected_isa, set_simd, simd_enabled, Isa};
 pub use params::{ParamId, ParamStore};
 pub use rng::Rng;
 pub use tensor::Tensor;

@@ -97,6 +97,14 @@ fn host_threads() -> usize {
     })
 }
 
+/// Physical parallelism of the host as seen by the worker pool (see
+/// `host_threads`). Benches use this to decide which thread-scaling
+/// assertions are meaningful: on a 1-core container a 4-thread cell can
+/// never beat the 1-thread cell, only avoid regressing it.
+pub fn host_parallelism() -> usize {
+    host_threads()
+}
+
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| Pool {
         workers: Mutex::new(Vec::new()),
@@ -141,6 +149,8 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
 static PAR_CALLS: AtomicU64 = AtomicU64::new(0);
 static INLINE_CALLS: AtomicU64 = AtomicU64::new(0);
 static CHUNKS_DISPATCHED: AtomicU64 = AtomicU64::new(0);
+static PAR_ITEMS: AtomicU64 = AtomicU64::new(0);
+static PAR_WAIT_NS: AtomicU64 = AtomicU64::new(0);
 
 /// Cumulative `parallel_for` dispatch statistics since process start (or
 /// the last [`reset_pool_stats`]). The pool hands contiguous chunks to
@@ -156,6 +166,15 @@ pub struct PoolStats {
     pub inline_calls: u64,
     /// Chunks sent to worker threads (excludes the caller's own chunk).
     pub chunks_dispatched: u64,
+    /// Total items (`n`) handed to `parallel_for`, inline calls included.
+    /// `par_items / (par_calls + inline_calls)` is the mean region size —
+    /// the signal for whether per-op work is being batched into regions
+    /// big enough to amortize dispatch, or shredded into tiny ones.
+    pub par_items: u64,
+    /// Nanoseconds the calling thread spent blocked waiting for workers
+    /// to finish after completing its own chunk. High values relative to
+    /// wall time mean chunk imbalance or an oversubscribed host.
+    pub par_wait_ns: u64,
 }
 
 /// Reads the cumulative dispatch counters.
@@ -164,6 +183,8 @@ pub fn pool_stats() -> PoolStats {
         par_calls: PAR_CALLS.load(Ordering::Relaxed),
         inline_calls: INLINE_CALLS.load(Ordering::Relaxed),
         chunks_dispatched: CHUNKS_DISPATCHED.load(Ordering::Relaxed),
+        par_items: PAR_ITEMS.load(Ordering::Relaxed),
+        par_wait_ns: PAR_WAIT_NS.load(Ordering::Relaxed),
     }
 }
 
@@ -172,6 +193,8 @@ pub fn reset_pool_stats() {
     PAR_CALLS.store(0, Ordering::Relaxed);
     INLINE_CALLS.store(0, Ordering::Relaxed);
     CHUNKS_DISPATCHED.store(0, Ordering::Relaxed);
+    PAR_ITEMS.store(0, Ordering::Relaxed);
+    PAR_WAIT_NS.store(0, Ordering::Relaxed);
 }
 
 /// The number of threads `parallel_for` currently targets (workers plus
@@ -215,6 +238,7 @@ where
     // surplus round-robin onto the real workers. Chunk boundaries are
     // already fixed above, so this cannot change any result bit.
     let send_workers = host_threads().saturating_sub(1).min(chunks - 1);
+    PAR_ITEMS.fetch_add(n as u64, Ordering::Relaxed);
     if chunks == 1 || send_workers == 0 || IN_WORKER.with(|flag| flag.get()) {
         INLINE_CALLS.fetch_add(1, Ordering::Relaxed);
         f(0..n);
@@ -259,6 +283,7 @@ where
     // The caller runs chunk 0 while workers run the rest.
     f(bounds(0)..bounds(1));
 
+    let wait_start = std::time::Instant::now();
     let mut panic: Option<String> = None;
     for _ in 1..chunks {
         match done_rx.recv() {
@@ -267,6 +292,7 @@ where
             Err(_) => panic = Some("worker task dropped without completing".into()),
         }
     }
+    PAR_WAIT_NS.fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     if let Some(msg) = panic {
         panic!("parallel_for worker panicked: {msg}");
     }

@@ -1,22 +1,33 @@
-//! Tape-scoped buffer pooling: a per-thread free list of `Vec<f32>`
-//! buffers keyed by exact length, so steady-state training performs zero
-//! heap allocation in the hot loop.
+//! Tape-scoped buffer pooling: a per-thread free list of [`Buffer`]
+//! storage blocks keyed by exact length, so steady-state training
+//! performs zero heap allocation in the hot loop.
 //!
 //! ## Why
 //!
-//! Every autodiff op materializes its result into a fresh `Vec<f32>`, and
-//! a training step records hundreds of nodes. Without reuse each step
-//! pays malloc + page-fault + memset for every intermediate — and for
-//! buffers above the allocator's mmap threshold (~128 KiB) the
-//! `mmap`/`munmap` churn additionally serializes worker threads on the
-//! kernel's address-space lock, which is exactly what flattened the
-//! 4-thread GEMM curve. With the pool, a dropped [`crate::Tensor`] (or a
-//! GEMM packing buffer) returns its storage to the current thread's free
-//! list, and the next request for the same length pops it back in O(1).
+//! Every autodiff op materializes its result into a fresh buffer, and a
+//! training step records hundreds of nodes. Without reuse each step pays
+//! malloc + page-fault + memset for every intermediate — and for buffers
+//! above the allocator's mmap threshold (~128 KiB) the `mmap`/`munmap`
+//! churn additionally serializes worker threads on the kernel's
+//! address-space lock, which is exactly what flattened the 4-thread GEMM
+//! curve. With the pool, a dropped [`crate::Tensor`] (or a GEMM packing
+//! buffer) returns its storage to the current thread's free list, and the
+//! next request for the same length pops it back in O(1).
+//!
+//! ## Alignment
+//!
+//! Buffers the pool allocates itself are 32-byte aligned ([`ALIGN`]) so
+//! the AVX2 kernel arms in [`crate::gemm`] and [`crate::simd`] start on a
+//! vector-register boundary. Alignment is a *performance* contract, not a
+//! correctness one: storage adopted from a caller's `Vec<f32>` (via
+//! [`Tensor::from_vec`](crate::Tensor::from_vec)) keeps the allocator's
+//! natural alignment, and every SIMD arm therefore uses unaligned
+//! loads/stores — which are full speed on aligned data on every AVX2
+//! part. [`Buffer::is_aligned`] reports the actual state.
 //!
 //! ## Lifecycle
 //!
-//! * [`take_uninit`] / [`take_zeroed`] hand out a `Vec<f32>` of exactly
+//! * [`take_uninit`] / [`take_zeroed`] hand out a [`Buffer`] of exactly
 //!   the requested length — recycled when a same-length buffer is free
 //!   (*hit*), freshly allocated otherwise (*miss*).
 //! * [`recycle`] returns a buffer to the free list. `Tensor`'s `Drop`
@@ -35,23 +46,234 @@
 //! Pooling never changes numerics: pooled buffers are either zeroed on
 //! hand-out or fully overwritten by the kernel that requested them, and
 //! no computation order depends on whether a buffer came from the free
-//! list or the allocator. `tests/pool_determinism.rs` asserts a full
-//! train step is bitwise identical with pooling on and off, at 1 and 4
-//! threads.
+//! list or the allocator (alignment only shifts which *addresses* a loop
+//! touches, never the arithmetic sequence). `tests/pool_determinism.rs`
+//! asserts a full train step is bitwise identical with pooling on and
+//! off, at 1 and 4 threads.
 //!
 //! Pooling is on by default; set `URCL_POOL=0` to disable it at process
 //! start, or call [`set_pooling`] at runtime (benches toggle it to
 //! measure the pooling-off baseline in the same process). The toggle
-//! governs the whole memory-reuse path: with pooling off the backward
-//! pass also falls back from the fused in-place accumulators to the
-//! seed-style materialize-a-temporary-then-accumulate kernels, so the
-//! "off" setting reproduces the pre-pool allocation behaviour end to end
-//! (with identical arithmetic, hence identical bits).
+//! governs the whole memory-reuse path: with pooling off [`take_uninit`]
+//! degrades to plain `vec![0.0; len]` storage and the backward pass also
+//! falls back from the fused in-place accumulators to the seed-style
+//! materialize-a-temporary-then-accumulate kernels, so the "off" setting
+//! reproduces the pre-pool allocation behaviour end to end (with
+//! identical arithmetic, hence identical bits).
 
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+/// Byte alignment of pool-allocated buffers (one AVX2 `__m256` register).
+pub const ALIGN: usize = 32;
+
+/// Owned `f32` storage: either a 32-byte-aligned block the pool allocated
+/// itself, or storage adopted from a caller's `Vec<f32>`. Dereferences to
+/// `[f32]`, so existing slice-based code works unchanged.
+///
+/// The two-origin design lets [`crate::Tensor`] keep its zero-copy
+/// `from_vec`/`into_vec` API while everything the pool hands out meets
+/// the SIMD alignment contract (see the module docs).
+pub struct Buffer {
+    ptr: NonNull<f32>,
+    len: usize,
+    /// Allocation capacity in elements. For aligned blocks this equals
+    /// `len`; for adopted `Vec`s it is the vector's capacity (needed to
+    /// rebuild the `Vec` for deallocation).
+    cap: usize,
+    /// True when this block came from the aligned allocator and must be
+    /// freed with the matching [`Layout`].
+    aligned: bool,
+}
+
+// SAFETY: `Buffer` is an owned, uniquely-referenced allocation of `f32`
+// (no interior mutability, no shared state) — exactly as `Vec<f32>`,
+// which is Send + Sync.
+unsafe impl Send for Buffer {}
+unsafe impl Sync for Buffer {}
+
+impl Buffer {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Self {
+        Buffer {
+            ptr: NonNull::dangling(),
+            len: 0,
+            cap: 0,
+            aligned: false,
+        }
+    }
+
+    fn layout(cap: usize) -> Layout {
+        Layout::from_size_align(cap * std::mem::size_of::<f32>(), ALIGN)
+            .expect("buffer layout overflow")
+    }
+
+    /// Allocates a zero-filled, 32-byte-aligned buffer of `len` elements.
+    fn zeroed_aligned(len: usize) -> Self {
+        if len == 0 {
+            return Buffer::new();
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+            handle_alloc_error(layout);
+        };
+        Buffer {
+            ptr,
+            len,
+            cap: len,
+            aligned: true,
+        }
+    }
+
+    /// Adopts a `Vec<f32>` without copying. The storage keeps the
+    /// allocator's natural alignment and is freed through `Vec`'s layout
+    /// on drop.
+    pub fn from_vec(v: Vec<f32>) -> Self {
+        let mut v = ManuallyDrop::new(v);
+        let len = v.len();
+        let cap = v.capacity();
+        // SAFETY: Vec's pointer is non-null (dangling-but-aligned for
+        // cap == 0, which Drop never frees).
+        let ptr = unsafe { NonNull::new_unchecked(v.as_mut_ptr()) };
+        Buffer {
+            ptr,
+            len,
+            cap,
+            aligned: false,
+        }
+    }
+
+    /// Converts into a `Vec<f32>`. Zero-copy for adopted `Vec` storage;
+    /// aligned pool blocks are copied (their layout is not `Vec`'s).
+    pub fn into_vec(self) -> Vec<f32> {
+        if self.aligned {
+            return self.as_slice().to_vec(); // `self` dropped normally
+        }
+        let b = ManuallyDrop::new(self);
+        if b.cap == 0 {
+            return Vec::new();
+        }
+        // SAFETY: non-aligned storage was created by `Vec::from` parts
+        // (ptr, len, cap) in `from_vec` and never resized since.
+        unsafe { Vec::from_raw_parts(b.ptr.as_ptr(), b.len, b.cap) }
+    }
+
+    /// Number of `f32` elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the storage start is 32-byte aligned (always true for
+    /// pool-allocated blocks; incidental for adopted `Vec`s).
+    #[inline]
+    pub fn is_aligned(&self) -> bool {
+        (self.ptr.as_ptr() as usize) % ALIGN == 0
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[f32] {
+        // SAFETY: ptr/len describe a live, initialized allocation (or a
+        // dangling ptr with len 0, for which from_raw_parts is valid).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as `as_slice`, plus unique ownership for mutation.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for Buffer {
+    fn drop(&mut self) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.aligned {
+            // SAFETY: allocated in `zeroed_aligned` with this exact layout.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.cap)) };
+        } else {
+            // SAFETY: reconstructing the Vec from `from_vec`'s parts.
+            drop(unsafe { Vec::from_raw_parts(self.ptr.as_ptr(), self.len, self.cap) });
+        }
+    }
+}
+
+impl Deref for Buffer {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for Buffer {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.as_mut_slice()
+    }
+}
+
+impl Default for Buffer {
+    fn default() -> Self {
+        Buffer::new()
+    }
+}
+
+impl Clone for Buffer {
+    fn clone(&self) -> Self {
+        // Clones go through the pool so a cloned Tensor's storage is
+        // recyclable (and aligned) like any other.
+        let mut out = take_uninit(self.len);
+        out.copy_from_slice(self);
+        out
+    }
+}
+
+impl From<Vec<f32>> for Buffer {
+    fn from(v: Vec<f32>) -> Self {
+        Buffer::from_vec(v)
+    }
+}
+
+impl PartialEq for Buffer {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[f32]> for Buffer {
+    fn eq(&self, other: &[f32]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<f32>> for Buffer {
+    fn eq(&self, other: &Vec<f32>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Buffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
 
 /// Pooling state: 0 = unset (read env on first use), 1 = on, 2 = off.
 static POOLING: AtomicUsize = AtomicUsize::new(0);
@@ -65,7 +287,7 @@ static PEAK_LIVE_F32: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     /// Free buffers of this thread, keyed by exact length.
-    static FREE: RefCell<HashMap<usize, Vec<Vec<f32>>>> = RefCell::new(HashMap::new());
+    static FREE: RefCell<HashMap<usize, Vec<Buffer>>> = RefCell::new(HashMap::new());
 }
 
 fn pooling_from_env() -> usize {
@@ -152,7 +374,7 @@ pub fn thread_pool_resident_f32() -> usize {
     FREE.with(|f| {
         f.borrow()
             .values()
-            .flat_map(|bucket| bucket.iter().map(Vec::len))
+            .flat_map(|bucket| bucket.iter().map(|b| b.len()))
             .sum()
     })
 }
@@ -165,23 +387,25 @@ fn note_live(len: usize) {
 /// A buffer of exactly `len` elements with **unspecified contents**; the
 /// caller must overwrite every element before reading any. Pops a
 /// recycled buffer when one of this exact length is free, otherwise
-/// allocates. `take_uninit(0)` is an empty `Vec` and touches no counter.
-pub fn take_uninit(len: usize) -> Vec<f32> {
+/// allocates (32-byte aligned). `take_uninit(0)` is an empty buffer and
+/// touches no counter.
+pub fn take_uninit(len: usize) -> Buffer {
     take(len, false)
 }
 
 /// A buffer of exactly `len` elements, all `0.0` — the pooled equivalent
 /// of `vec![0.0; len]`.
-pub fn take_zeroed(len: usize) -> Vec<f32> {
+pub fn take_zeroed(len: usize) -> Buffer {
     take(len, true)
 }
 
-fn take(len: usize, zero: bool) -> Vec<f32> {
+fn take(len: usize, zero: bool) -> Buffer {
     if len == 0 {
-        return Vec::new();
+        return Buffer::new();
     }
     if !pooling_enabled() {
-        return vec![0.0; len];
+        // Seed-era behaviour: a plain zeroed Vec allocation per request.
+        return Buffer::from_vec(vec![0.0; len]);
     }
     let recycled = FREE.with(|f| {
         f.borrow_mut()
@@ -190,17 +414,17 @@ fn take(len: usize, zero: bool) -> Vec<f32> {
     });
     note_live(len);
     match recycled {
-        Some(mut v) => {
+        Some(mut b) => {
             HITS.fetch_add(1, Ordering::Relaxed);
-            debug_assert_eq!(v.len(), len, "pool bucket holds wrong-length buffer");
+            debug_assert_eq!(b.len(), len, "pool bucket holds wrong-length buffer");
             if zero {
-                v.fill(0.0);
+                b.fill(0.0);
             }
-            v
+            b
         }
         None => {
             MISSES.fetch_add(1, Ordering::Relaxed);
-            vec![0.0; len]
+            Buffer::zeroed_aligned(len)
         }
     }
 }
@@ -208,8 +432,8 @@ fn take(len: usize, zero: bool) -> Vec<f32> {
 /// Returns a buffer to the current thread's free list for reuse by a
 /// later same-length [`take_uninit`]/[`take_zeroed`]. Empty buffers and
 /// buffers recycled while pooling is off are simply dropped.
-pub fn recycle(v: Vec<f32>) {
-    let len = v.len();
+pub fn recycle(b: Buffer) {
+    let len = b.len();
     if len == 0 || !pooling_enabled() {
         return;
     }
@@ -219,7 +443,7 @@ pub fn recycle(v: Vec<f32>) {
     let _ = LIVE_F32.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
         Some(live.saturating_sub(len as u64))
     });
-    FREE.with(|f| f.borrow_mut().entry(len).or_default().push(v));
+    FREE.with(|f| f.borrow_mut().entry(len).or_default().push(b));
 }
 
 #[cfg(test)]
@@ -281,12 +505,45 @@ mod tests {
     }
 
     #[test]
+    fn pool_allocations_are_aligned() {
+        let _guard = lock();
+        let prev = set_pooling(true);
+        trim_thread_pool();
+        for len in [1, 7, 32, 100, 4096] {
+            let b = take_uninit(len);
+            assert!(b.is_aligned(), "pool block of len {len} not {ALIGN}B aligned");
+            assert_eq!((b.as_ptr() as usize) % ALIGN, 0);
+            recycle(b);
+        }
+        set_pooling(prev);
+    }
+
+    #[test]
+    fn vec_roundtrip_is_zero_copy_and_aligned_copy_preserves_data() {
+        let _guard = lock();
+        // Adopted Vec: into_vec must return the identical allocation.
+        let v = vec![1.0f32, 2.0, 3.0];
+        let ptr = v.as_ptr();
+        let b = Buffer::from_vec(v);
+        assert_eq!(&b[..], &[1.0, 2.0, 3.0]);
+        let back = b.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "Vec-backed into_vec must not copy");
+        // Aligned pool block: into_vec copies but preserves contents.
+        let prev = set_pooling(true);
+        trim_thread_pool();
+        let mut a = take_uninit(4);
+        a.copy_from_slice(&[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(a.into_vec(), vec![4.0, 5.0, 6.0, 7.0]);
+        set_pooling(prev);
+    }
+
+    #[test]
     fn disabled_pool_allocates_and_counts_nothing() {
         let _guard = lock();
         let prev = set_pooling(false);
         reset_buffer_pool_stats();
         let v = take_zeroed(32);
-        assert_eq!(v, vec![0.0; 32]);
+        assert_eq!(&v[..], &vec![0.0f32; 32][..]);
         recycle(v);
         let stats = buffer_pool_stats();
         assert_eq!((stats.hits, stats.misses, stats.bytes_recycled), (0, 0, 0));

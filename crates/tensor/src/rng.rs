@@ -169,14 +169,14 @@ impl Rng {
     /// Tensor with i.i.d. uniform entries in `[lo, hi)`.
     pub fn uniform_tensor(&mut self, shape: &[usize], lo: f32, hi: f32) -> Tensor {
         let n = crate::shape::numel(shape);
-        let data = (0..n).map(|_| self.uniform_range(lo, hi)).collect();
+        let data: Vec<f32> = (0..n).map(|_| self.uniform_range(lo, hi)).collect();
         Tensor::from_vec(data, shape)
     }
 
     /// Tensor with i.i.d. normal entries.
     pub fn normal_tensor(&mut self, shape: &[usize], mean: f32, std: f32) -> Tensor {
         let n = crate::shape::numel(shape);
-        let data = (0..n).map(|_| self.normal_with(mean, std)).collect();
+        let data: Vec<f32> = (0..n).map(|_| self.normal_with(mean, std)).collect();
         Tensor::from_vec(data, shape)
     }
 

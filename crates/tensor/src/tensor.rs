@@ -14,26 +14,28 @@ use std::fmt;
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
-/// Storage comes from the tape-scoped buffer pool ([`crate::pool`]): every
-/// constructor draws its `Vec<f32>` from the current thread's free list,
-/// and `Drop` returns it there, so steady-state training reuses the same
-/// buffers step after step instead of hitting the allocator.
+/// Storage is a [`pool::Buffer`] from the tape-scoped buffer pool
+/// ([`crate::pool`]): every constructor draws a (32-byte-aligned) block
+/// from the current thread's free list, and `Drop` returns it there, so
+/// steady-state training reuses the same buffers step after step instead
+/// of hitting the allocator.
 #[derive(PartialEq)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: pool::Buffer,
     shape: Vec<usize>,
 }
 
 impl Clone for Tensor {
     fn clone(&self) -> Self {
-        // With pooling off this is the derived clone (alloc + memcpy);
-        // going through `take_uninit` there would add a wasted memset.
+        // With pooling off this is a plain alloc + memcpy (seed-era
+        // behaviour); going through `take_uninit` there would add a
+        // wasted memset.
         let data = if pool::pooling_enabled() {
             let mut data = pool::take_uninit(self.data.len());
             data.copy_from_slice(&self.data);
             data
         } else {
-            self.data.clone()
+            pool::Buffer::from_vec(self.data.to_vec())
         };
         Tensor {
             data,
@@ -83,9 +85,11 @@ impl fmt::Debug for Tensor {
 impl Tensor {
     // ---------------------------------------------------------------- ctors
 
-    /// Builds a tensor from a flat buffer and a shape. Panics if the buffer
-    /// length does not match the shape.
-    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+    /// Builds a tensor from a flat buffer and a shape. Accepts a plain
+    /// `Vec<f32>` (adopted zero-copy) or a [`pool::Buffer`]. Panics if the
+    /// buffer length does not match the shape.
+    pub fn from_vec(data: impl Into<pool::Buffer>, shape: &[usize]) -> Self {
+        let data = data.into();
         assert_eq!(
             data.len(),
             numel(shape),
@@ -170,9 +174,10 @@ impl Tensor {
     }
 
     /// Consumes the tensor, returning the flat buffer. The buffer leaves
-    /// the pool's custody (it is not recycled on drop).
+    /// the pool's custody (it is not recycled on drop). Zero-copy for
+    /// `Vec`-adopted storage; pool-aligned blocks are copied out.
     pub fn into_vec(mut self) -> Vec<f32> {
-        std::mem::take(&mut self.data)
+        std::mem::take(&mut self.data).into_vec()
     }
 
     /// Value at a multi-dimensional index.
@@ -218,6 +223,13 @@ impl Tensor {
         let in_strides = strides(&self.shape);
         let out_strides_in_input: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
         let mut out = pool::take_uninit(self.data.len());
+        if crate::simd::fast_kernels() {
+            strided_copy(&self.data, &mut out, &out_shape, &out_strides_in_input);
+            return Tensor {
+                data: out,
+                shape: out_shape,
+            };
+        }
         let n = self.data.len();
         let mut idx = vec![0usize; out_shape.len()];
         for (linear, slot) in out.iter_mut().enumerate().take(n) {
@@ -256,7 +268,7 @@ impl Tensor {
         let n = self.data.len();
         if n < PAR_MIN_ELEMS {
             let mut data = pool::take_uninit(n);
-            for (slot, &x) in data.iter_mut().zip(&self.data) {
+            for (slot, &x) in data.iter_mut().zip(self.data.iter()) {
                 *slot = f(x);
             }
             return Tensor {
@@ -286,7 +298,8 @@ impl Tensor {
             let n = self.data.len();
             if n < PAR_MIN_ELEMS {
                 let mut data = pool::take_uninit(n);
-                for ((slot, &a), &b) in data.iter_mut().zip(&self.data).zip(&other.data) {
+                for ((slot, &a), &b) in data.iter_mut().zip(self.data.iter()).zip(other.data.iter())
+                {
                     *slot = f(a, b);
                 }
                 return Tensor {
@@ -319,6 +332,13 @@ impl Tensor {
         let sb = broadcast_strides(&other.shape, out_shape.len());
         let n = numel(&out_shape);
         let mut data = pool::take_uninit(n);
+        if crate::simd::fast_kernels() {
+            broadcast_zip_into(&self.data, &other.data, &mut data, &out_shape, &sa, &sb, &f);
+            return Tensor {
+                data,
+                shape: out_shape,
+            };
+        }
         let out = SendPtr(data.as_mut_ptr());
         parallel_for(n, PAR_MIN_ELEMS / 4, |r| {
             // SAFETY: chunks are disjoint subranges of 0..n.
@@ -370,7 +390,7 @@ impl Tensor {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
         let n = self.data.len();
         if n < PAR_MIN_ELEMS {
-            for (a, b) in self.data.iter_mut().zip(&other.data) {
+            for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
                 *a += b;
             }
             return;
@@ -417,6 +437,24 @@ impl Tensor {
             .collect();
         let out_strides_full = strides(&keep_shape);
         let mut out = Tensor::zeros(&keep_shape);
+        if crate::simd::fast_kernels() {
+            let os: Vec<usize> = (0..self.ndim())
+                .map(|i| if reduce[i] { 0 } else { out_strides_full[i] })
+                .collect();
+            sum_axes_into(&self.data, &mut out.data, &self.shape, &os);
+            return if keepdim {
+                out
+            } else {
+                let squeezed: Vec<usize> = keep_shape
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !reduce[*i])
+                    .map(|(_, &d)| d)
+                    .collect();
+                let shape = if squeezed.is_empty() { vec![1] } else { squeezed };
+                out.reshape(&shape)
+            };
+        }
         let mut idx = vec![0usize; self.ndim()];
         for (linear, &v) in self.data.iter().enumerate() {
             let mut rem = linear;
@@ -1031,7 +1069,7 @@ impl Tensor {
         let mut cov = 0.0;
         let mut va = 0.0;
         let mut vb = 0.0;
-        for (&a, &b) in self.data.iter().zip(&other.data) {
+        for (&a, &b) in self.data.iter().zip(other.data.iter()) {
             let da = a - ma;
             let db = b - mb;
             cov += da * db;
@@ -1047,6 +1085,250 @@ impl Tensor {
     /// Frobenius (L2) norm of the whole tensor.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+// ----------------------------------------------------------- fast kernels
+//
+// Stride-collapsed rewrites of the index-decomposition loops above, taken
+// when `simd::fast_kernels()` is on. Each one visits exactly the same
+// (input element -> output element) pairs as its fallback twin and keeps
+// every per-output-element accumulation sequence intact, so results are
+// bitwise identical — `tests/simd_parity.rs` churns shapes asserting it.
+
+/// Gathers strided input into a contiguous output: output axis `i` has
+/// extent `out_shape[i]` and reads the source with stride
+/// `src_strides[i]`. Pure data movement (no arithmetic), so any traversal
+/// order is safe; this one removes the per-element div/mod of the
+/// fallback and lowers trailing transposes to the blocked kernel in
+/// [`crate::simd`].
+fn strided_copy(src: &[f32], dst: &mut [f32], out_shape: &[usize], src_strides: &[usize]) {
+    if dst.is_empty() {
+        return;
+    }
+    // Drop unit axes, then merge axes contiguous in both source and
+    // destination (src stride of the outer axis == inner stride * extent;
+    // the destination is linear, so it always merges).
+    let mut dims: Vec<(usize, usize)> = Vec::with_capacity(out_shape.len());
+    for (&d, &s) in out_shape.iter().zip(src_strides) {
+        if d == 1 {
+            continue;
+        }
+        if let Some(last) = dims.last_mut() {
+            if last.1 == s * d {
+                last.0 *= d;
+                last.1 = s;
+                continue;
+            }
+        }
+        dims.push((d, s));
+    }
+    match dims.len() {
+        0 => {
+            dst[0] = src[0];
+            return;
+        }
+        1 => {
+            let (d, s) = dims[0];
+            if s == 1 {
+                dst.copy_from_slice(&src[..d]);
+            } else {
+                let mut so = 0;
+                for slot in dst.iter_mut() {
+                    *slot = src[so];
+                    so += s;
+                }
+            }
+            return;
+        }
+        _ => {}
+    }
+    // A trailing ((p, 1), (q, s)) pair is a blocked 2-D transpose:
+    // dst[.. + b*q + a] = src[.. + a*s + b]. Everything further out just
+    // iterates around the block.
+    let nd = dims.len();
+    let transpose_tail = dims[nd - 2].1 == 1;
+    let (outer, block_len) = if transpose_tail {
+        (&dims[..nd - 2], dims[nd - 2].0 * dims[nd - 1].0)
+    } else {
+        (&dims[..nd - 1], dims[nd - 1].0)
+    };
+    let runs: usize = outer.iter().map(|&(d, _)| d).product();
+    for r in 0..runs {
+        let mut rem = r;
+        let mut src_off = 0;
+        for &(d, s) in outer.iter().rev() {
+            src_off += (rem % d) * s;
+            rem /= d;
+        }
+        let dst_run = &mut dst[r * block_len..(r + 1) * block_len];
+        if transpose_tail {
+            let (p, _) = dims[nd - 2];
+            let (q, s) = dims[nd - 1];
+            crate::simd::transpose_gather(&src[src_off..], s, dst_run, p, q);
+        } else {
+            let (q, s) = dims[nd - 1];
+            if s == 1 {
+                dst_run.copy_from_slice(&src[src_off..src_off + q]);
+            } else {
+                let mut so = src_off;
+                for slot in dst_run.iter_mut() {
+                    *slot = src[so];
+                    so += s;
+                }
+            }
+        }
+    }
+}
+
+/// Broadcast binary map `dst[i] = f(a[..], b[..])` with stride-collapsed
+/// addressing. Every output element is computed independently (one `f`
+/// call each, same operands as the fallback), so traversal order and the
+/// parallel split cannot change bits.
+fn broadcast_zip_into(
+    a: &[f32],
+    b: &[f32],
+    dst: &mut [f32],
+    out_shape: &[usize],
+    sa: &[usize],
+    sb: &[usize],
+    f: &(impl Fn(f32, f32) -> f32 + Sync),
+) {
+    if dst.is_empty() {
+        return;
+    }
+    // Merge adjacent axes contiguous in *both* operands (broadcast axes
+    // merge with each other: 0 == 0 * d).
+    let mut dims: Vec<(usize, usize, usize)> = Vec::with_capacity(out_shape.len());
+    for i in 0..out_shape.len() {
+        let (d, ia, ib) = (out_shape[i], sa[i], sb[i]);
+        if d == 1 {
+            continue;
+        }
+        if let Some(last) = dims.last_mut() {
+            if last.1 == ia * d && last.2 == ib * d {
+                last.0 *= d;
+                last.1 = ia;
+                last.2 = ib;
+                continue;
+            }
+        }
+        dims.push((d, ia, ib));
+    }
+    if dims.is_empty() {
+        dst[0] = f(a[0], b[0]);
+        return;
+    }
+    let (id, ia, ib) = dims.pop().unwrap();
+    let outer = dims;
+    let runs: usize = outer.iter().map(|d| d.0).product();
+    let run = |dst_run: &mut [f32], r: usize| {
+        let mut rem = r;
+        let (mut oa, mut ob) = (0usize, 0usize);
+        for &(d, xa, xb) in outer.iter().rev() {
+            let j = rem % d;
+            rem /= d;
+            oa += j * xa;
+            ob += j * xb;
+        }
+        match (ia, ib) {
+            (1, 1) => {
+                let ar = &a[oa..oa + id];
+                let br = &b[ob..ob + id];
+                for ((slot, &av), &bv) in dst_run.iter_mut().zip(ar).zip(br) {
+                    *slot = f(av, bv);
+                }
+            }
+            (1, 0) => {
+                let bv = b[ob];
+                for (slot, &av) in dst_run.iter_mut().zip(&a[oa..oa + id]) {
+                    *slot = f(av, bv);
+                }
+            }
+            (0, 1) => {
+                let av = a[oa];
+                for (slot, &bv) in dst_run.iter_mut().zip(&b[ob..ob + id]) {
+                    *slot = f(av, bv);
+                }
+            }
+            _ => {
+                for (j, slot) in dst_run.iter_mut().enumerate() {
+                    *slot = f(a[oa + j * ia], b[ob + j * ib]);
+                }
+            }
+        }
+    };
+    if runs * id < PAR_MIN_ELEMS {
+        for r in 0..runs {
+            run(&mut dst[r * id..(r + 1) * id], r);
+        }
+    } else {
+        let out = SendPtr(dst.as_mut_ptr());
+        let grain = (PAR_MIN_ELEMS / 4 / id).max(1);
+        parallel_for(runs, grain, |rr| {
+            for r in rr {
+                // SAFETY: run r owns the disjoint range [r*id, (r+1)*id).
+                let dst_run = unsafe { out.slice(r * id, id) };
+                run(dst_run, r);
+            }
+        });
+    }
+}
+
+/// Axis-sum with stride-collapsed addressing: `out[..] += src[..]` where
+/// `os[i]` is the output stride of input axis `i` (0 for reduced axes).
+/// Bitwise-identical to the fallback because each *output* element still
+/// accumulates its terms in ascending input-linear order: the inner-axis
+/// specializations only change where partial sums are kept (a register
+/// instead of the output slot), never the order or grouping of adds.
+fn sum_axes_into(src: &[f32], out: &mut [f32], in_shape: &[usize], os: &[usize]) {
+    if src.is_empty() {
+        return;
+    }
+    let mut dims: Vec<(usize, usize)> = Vec::with_capacity(in_shape.len());
+    for (&d, &s) in in_shape.iter().zip(os) {
+        if d == 1 {
+            continue;
+        }
+        if let Some(last) = dims.last_mut() {
+            if last.1 == s * d {
+                last.0 *= d;
+                last.1 = s;
+                continue;
+            }
+        }
+        dims.push((d, s));
+    }
+    if dims.is_empty() {
+        out[0] += src[0];
+        return;
+    }
+    let (id, is) = dims.pop().unwrap();
+    let outer = dims;
+    let runs: usize = outer.iter().map(|d| d.0).product();
+    for r in 0..runs {
+        let mut rem = r;
+        let mut base = 0;
+        for &(d, s) in outer.iter().rev() {
+            base += (rem % d) * s;
+            rem /= d;
+        }
+        let run = &src[r * id..(r + 1) * id];
+        if is == 1 {
+            for (slot, &v) in out[base..base + id].iter_mut().zip(run) {
+                *slot += v;
+            }
+        } else if is == 0 {
+            let mut acc = out[base];
+            for &v in run {
+                acc += v;
+            }
+            out[base] = acc;
+        } else {
+            for (j, &v) in run.iter().enumerate() {
+                out[base + j * is] += v;
+            }
+        }
     }
 }
 
@@ -1104,7 +1386,7 @@ mod tests {
 
     #[test]
     fn matmul_batched_equal() {
-        let a = Tensor::from_vec((0..8).map(|x| x as f32).collect(), &[2, 2, 2]);
+        let a = Tensor::from_vec((0..8).map(|x| x as f32).collect::<Vec<f32>>(), &[2, 2, 2]);
         let b = Tensor::eye(2).reshape(&[1, 2, 2]);
         let c = a.matmul(&b);
         assert_eq!(c.data(), a.data());
@@ -1131,7 +1413,7 @@ mod tests {
 
     #[test]
     fn permute_and_transpose() {
-        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect::<Vec<f32>>(), &[2, 3, 4]);
         let p = t.permute(&[2, 0, 1]);
         assert_eq!(p.shape(), &[4, 2, 3]);
         assert_eq!(p.at(&[1, 0, 2]), t.at(&[0, 2, 1]));
@@ -1142,7 +1424,7 @@ mod tests {
 
     #[test]
     fn narrow_middle_axis() {
-        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect::<Vec<f32>>(), &[2, 3, 4]);
         let n = t.narrow(1, 1, 2);
         assert_eq!(n.shape(), &[2, 2, 4]);
         assert_eq!(n.at(&[0, 0, 0]), t.at(&[0, 1, 0]));
@@ -1151,7 +1433,7 @@ mod tests {
 
     #[test]
     fn concat_roundtrip_with_narrow() {
-        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect::<Vec<f32>>(), &[2, 3, 4]);
         let a = t.narrow(1, 0, 1);
         let b = t.narrow(1, 1, 2);
         let c = Tensor::concat(&[&a, &b], 1);
@@ -1248,15 +1530,15 @@ mod tests {
 
     #[test]
     fn eye_matmul_identity() {
-        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[3, 3]);
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect::<Vec<f32>>(), &[3, 3]);
         let y = Tensor::eye(3).matmul(&x);
         assert_eq!(x, y);
     }
 
     #[test]
     fn matmul_nt_matches_explicit_transpose() {
-        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
-        let b = Tensor::from_vec((0..12).map(|v| v as f32 * 0.5).collect(), &[4, 3]);
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect::<Vec<f32>>(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|v| v as f32 * 0.5).collect::<Vec<f32>>(), &[4, 3]);
         let fused = a.matmul_nt(&b);
         let explicit = a.matmul(&b.transpose(0, 1));
         assert_eq!(fused.shape(), &[2, 4]);
@@ -1265,8 +1547,8 @@ mod tests {
 
     #[test]
     fn matmul_tn_matches_explicit_transpose() {
-        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[3, 2]);
-        let b = Tensor::from_vec((0..12).map(|v| v as f32 * 0.5).collect(), &[3, 4]);
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect::<Vec<f32>>(), &[3, 2]);
+        let b = Tensor::from_vec((0..12).map(|v| v as f32 * 0.5).collect::<Vec<f32>>(), &[3, 4]);
         let fused = a.matmul_tn(&b);
         let explicit = a.transpose(0, 1).matmul(&b);
         assert_eq!(fused.shape(), &[2, 4]);
@@ -1275,8 +1557,8 @@ mod tests {
 
     #[test]
     fn matmul_nt_batched_broadcast() {
-        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 2, 2]);
-        let b = Tensor::from_vec((0..4).map(|v| v as f32).collect(), &[1, 2, 2]);
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect::<Vec<f32>>(), &[3, 2, 2]);
+        let b = Tensor::from_vec((0..4).map(|v| v as f32).collect::<Vec<f32>>(), &[1, 2, 2]);
         let fused = a.matmul_nt(&b);
         let explicit = a.matmul(&b.transpose(1, 2));
         assert_eq!(fused, explicit);
@@ -1293,8 +1575,8 @@ mod tests {
 
     #[test]
     fn matmul_matches_reference() {
-        let a = Tensor::from_vec((0..30).map(|v| (v as f32).sin()).collect(), &[5, 6]);
-        let b = Tensor::from_vec((0..42).map(|v| (v as f32).cos()).collect(), &[6, 7]);
+        let a = Tensor::from_vec((0..30).map(|v| (v as f32).sin()).collect::<Vec<f32>>(), &[5, 6]);
+        let b = Tensor::from_vec((0..42).map(|v| (v as f32).cos()).collect::<Vec<f32>>(), &[6, 7]);
         let fast = a.matmul(&b);
         let slow = a.matmul_reference(&b);
         for (x, y) in fast.data().iter().zip(slow.data()) {
@@ -1304,8 +1586,8 @@ mod tests {
 
     #[test]
     fn conv1d_matches_reference() {
-        let x = Tensor::from_vec((0..30).map(|v| (v as f32).sin()).collect(), &[2, 3, 5]);
-        let w = Tensor::from_vec((0..24).map(|v| (v as f32).cos()).collect(), &[4, 3, 2]);
+        let x = Tensor::from_vec((0..30).map(|v| (v as f32).sin()).collect::<Vec<f32>>(), &[2, 3, 5]);
+        let w = Tensor::from_vec((0..24).map(|v| (v as f32).cos()).collect::<Vec<f32>>(), &[4, 3, 2]);
         for &(dil, pad) in &[(1, 0), (1, 1), (2, 2), (2, 0)] {
             let fast = x.conv1d(&w, dil, pad);
             let slow = x.conv1d_reference(&w, dil, pad);

@@ -52,7 +52,7 @@ fn churned_buffers_keep_exact_lengths_and_never_alias() {
 
     let mut rng = Rng::seed_from_u64(0x5EED_7);
     // (buffer, tag, requested length) for every outstanding take.
-    let mut live: Vec<(Vec<f32>, f32, usize)> = Vec::new();
+    let mut live: Vec<(urcl_tensor::pool::Buffer, f32, usize)> = Vec::new();
     let mut next_tag = 1.0f32;
 
     for step in 0..4000 {

@@ -14,7 +14,9 @@
 //! * **JSON export** — [`snapshot`] renders everything (plus the tensor
 //!   thread-pool dispatch statistics and buffer-pool telemetry:
 //!   `pool_hit`, `pool_miss`, `pool_bytes_recycled`,
-//!   `pool_peak_resident_f32`) as a schema-stable `urcl-json` value.
+//!   `pool_peak_resident_f32`, and the parallel-region shape counters
+//!   `par_items` / `par_wait_ns`, along with the top-level `host_threads`
+//!   and `simd_isa` gauges) as a schema-stable `urcl-json` value.
 //!
 //! Tracing is globally off by default. Every entry point checks a single
 //! relaxed atomic first, so the disabled cost is one load + branch — small
@@ -181,6 +183,14 @@ pub fn snapshot() -> Value {
         Value::object()
             .with("schema", Value::Str(SCHEMA.to_string()))
             .with("threads", Value::Num(urcl_tensor::num_threads() as f64))
+            .with(
+                "host_threads",
+                Value::Num(urcl_tensor::host_parallelism() as f64),
+            )
+            .with(
+                "simd_isa",
+                Value::Num(urcl_tensor::active_isa().code() as f64),
+            )
             .with("spans", spans)
             .with("counters", counters)
             .with("gauges", gauges)
@@ -195,6 +205,8 @@ pub fn snapshot() -> Value {
                     .with("par_calls", Value::Num(pool.par_calls as f64))
                     .with("inline_calls", Value::Num(pool.inline_calls as f64))
                     .with("chunks_dispatched", Value::Num(pool.chunks_dispatched as f64))
+                    .with("par_items", Value::Num(pool.par_items as f64))
+                    .with("par_wait_ns", Value::Num(pool.par_wait_ns as f64))
                     .with("pool_hit", Value::Num(buf.hits as f64))
                     .with("pool_miss", Value::Num(buf.misses as f64))
                     .with("pool_bytes_recycled", Value::Num(buf.bytes_recycled as f64))
@@ -295,8 +307,29 @@ mod tests {
         disable();
         let doc = snapshot();
         assert_eq!(doc.get("schema").and_then(Value::as_str), Some(SCHEMA));
-        for key in ["spans", "counters", "gauges", "histograms", "periods", "pool"] {
+        for key in [
+            "spans",
+            "counters",
+            "gauges",
+            "histograms",
+            "periods",
+            "pool",
+            "host_threads",
+            "simd_isa",
+        ] {
             assert!(doc.get(key).is_some(), "missing top-level key {key}");
+        }
+        // The SIMD gauge reports the active ISA tier and the pool object
+        // carries the parallel-region telemetry added for the scaling
+        // work; both must stay present for dashboard consumers.
+        let isa = doc.get("simd_isa").and_then(Value::as_u64).expect("simd_isa");
+        assert!(isa <= 2, "unknown ISA code {isa}");
+        let pool = doc.get("pool").expect("pool");
+        for key in ["par_items", "par_wait_ns"] {
+            assert!(
+                pool.get(key).and_then(Value::as_u64).is_some(),
+                "missing pool counter {key}"
+            );
         }
         let work = doc.get("spans").and_then(|s| s.get("work")).expect("span");
         assert_eq!(work.get("count").and_then(Value::as_u64), Some(1));

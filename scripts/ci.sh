@@ -23,6 +23,13 @@ cargo build --release --offline
 echo "== tests =="
 cargo test -q --offline
 
+echo "== tests with SIMD fast kernels force-disabled (URCL_SIMD=0) =="
+# The scalar fallback is the bitwise reference for every SIMD fast path
+# and must keep working standalone; run the kernel-owning crate's suite
+# (unit tests + parity/determinism integration tests) with the seam
+# forced off so the baseline cannot rot unnoticed.
+URCL_SIMD=0 cargo test -q --offline -p urcl-tensor
+
 echo "== rustdoc (warnings are errors) =="
 # Catches broken intra-doc links and, via the per-crate
 # #![warn(missing_docs)] attributes, any undocumented public item.
@@ -45,9 +52,10 @@ fi
 echo "== traced framework run =="
 ./target/release/bench_framework --quick --trace BENCH_trace.json
 
-echo "== train-step throughput smoke (pooling on/off determinism) =="
-# Quick schedule: asserts bitwise-identical losses across all four
-# (threads, pooling) cells and zero steady-state pool misses.
+echo "== train-step throughput smoke (pooling/SIMD determinism) =="
+# Quick schedule: asserts bitwise-identical losses across all six
+# (threads, pooling, simd) cells, zero steady-state pool misses, the
+# SIMD speedup gate and the host-aware thread-scaling gate.
 ./target/release/bench_train_step --quick
 
 echo "== JSON round-trip + trace schema validation =="
