@@ -18,8 +18,72 @@ fn validate(path: &str) -> Result<(), String> {
     if reparsed != value {
         return Err("round-trip through compact printer changed the document".into());
     }
-    if value.get("schema").and_then(Value::as_str) == Some(urcl_trace::SCHEMA) {
-        validate_trace(&value)?;
+    match value.get("schema").and_then(Value::as_str) {
+        Some(s) if s == urcl_trace::SCHEMA => validate_trace(&value)?,
+        Some("urcl-bench-serve-v2") => validate_serve(&value)?,
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Structural checks for `urcl-bench-serve-v2`: every cell carries its
+/// configuration axes and a non-empty `per_tenant` array with ordered
+/// latency percentiles, and the gates block records an aggregate peak
+/// over its floor.
+fn validate_serve(doc: &Value) -> Result<(), String> {
+    let cells = doc
+        .get("cells")
+        .and_then(Value::as_array)
+        .ok_or("serve key \"cells\" missing or not an array")?;
+    if cells.is_empty() {
+        return Err("serve \"cells\" is empty".into());
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        for key in ["mode", "threads", "shards", "max_batch", "cache", "requests_per_sec"] {
+            if cell.get(key).is_none() {
+                return Err(format!("serve cell {i} missing {key:?}"));
+            }
+        }
+        let per_tenant = cell
+            .get("per_tenant")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("serve cell {i} missing \"per_tenant\" array"))?;
+        if per_tenant.is_empty() {
+            return Err(format!("serve cell {i} has no tenants"));
+        }
+        for t in per_tenant {
+            let name = t.get("tenant").and_then(Value::as_str).unwrap_or("?");
+            let get = |key: &str| {
+                t.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("serve cell {i} tenant {name:?} missing {key:?}"))
+            };
+            let (p50, p95, p99) = (get("p50_ms")?, get("p95_ms")?, get("p99_ms")?);
+            if !(p50 <= p95 && p95 <= p99) {
+                return Err(format!(
+                    "serve cell {i} tenant {name:?} percentiles unordered: {p50} {p95} {p99}"
+                ));
+            }
+            for key in ["requests_per_sec", "ok", "shed", "cache_hits", "dedup_joins"] {
+                if get(key)? < 0.0 {
+                    return Err(format!("serve cell {i} tenant {name:?} {key:?} negative"));
+                }
+            }
+        }
+    }
+    let gates = doc.get("gates").ok_or("serve key \"gates\" missing")?;
+    let floor = gates
+        .get("aggregate_floor_rps")
+        .and_then(Value::as_f64)
+        .ok_or("serve gates missing \"aggregate_floor_rps\"")?;
+    let best = gates
+        .get("best_aggregate_rps")
+        .and_then(Value::as_f64)
+        .ok_or("serve gates missing \"best_aggregate_rps\"")?;
+    if best < floor {
+        return Err(format!(
+            "serve best aggregate {best:.0} req/s under the {floor:.0} floor"
+        ));
     }
     Ok(())
 }
@@ -52,6 +116,28 @@ fn validate_trace(doc: &Value) -> Result<(), String> {
                 if stats.get(key).and_then(Value::as_f64).is_none() {
                     return Err(format!("span {path:?} missing numeric {key:?}"));
                 }
+            }
+        }
+    }
+    // Estimated latency percentiles exported with every histogram: they
+    // must be present, ordered, and clamped to the observed range.
+    if let Some(Value::Object(hists)) = doc.get("histograms") {
+        for (name, h) in hists {
+            let get = |key: &str| {
+                h.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("histogram {name:?} missing numeric {key:?}"))
+            };
+            let (p50, p95, p99) = (get("p50")?, get("p95")?, get("p99")?);
+            if !(p50 <= p95 && p95 <= p99) {
+                return Err(format!(
+                    "histogram {name:?} percentiles unordered: {p50} {p95} {p99}"
+                ));
+            }
+            if get("count")? > 0.0 && !(get("min")? <= p50 && p99 <= get("max")?) {
+                return Err(format!(
+                    "histogram {name:?} percentiles outside [min, max]"
+                ));
             }
         }
     }

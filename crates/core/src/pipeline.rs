@@ -106,6 +106,19 @@ impl UrclPipeline {
         (model, store)
     }
 
+    /// [`Self::serving_parts`] with the backbone type-erased — the form a
+    /// multi-tenant registry wants, where tenants with different dataset
+    /// geometries (METR-LA, PEMS-BAY, …) must live in one homogeneous
+    /// collection of `Box<dyn Backbone>`.
+    pub fn serving_parts_dyn(
+        network: &SensorNetwork,
+        data_cfg: &DatasetConfig,
+        trainer_cfg: &TrainerConfig,
+    ) -> (Box<dyn Backbone + Send + Sync>, ParamStore) {
+        let (model, store) = Self::serving_parts(network, data_cfg, trainer_cfg);
+        (Box::new(model), store)
+    }
+
     /// Number of streaming periods consumed so far.
     pub fn periods_seen(&self) -> usize {
         self.periods_seen

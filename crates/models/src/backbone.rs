@@ -101,6 +101,40 @@ pub trait Backbone {
     }
 }
 
+/// Boxed backbones forward the whole contract, so a type-erased
+/// `Box<dyn Backbone + Send + Sync>` (the multi-tenant serving registry's
+/// element type) is itself a [`Backbone`].
+impl<B: Backbone + ?Sized> Backbone for Box<B> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn config(&self) -> &BackboneConfig {
+        (**self).config()
+    }
+
+    fn encode<'t>(&self, sess: &mut Session<'t, '_>, x: Var<'t>) -> Var<'t> {
+        (**self).encode(sess, x)
+    }
+
+    fn encode_perturbed<'t>(
+        &self,
+        sess: &mut Session<'t, '_>,
+        x: Var<'t>,
+        supports: Option<&SupportSet>,
+    ) -> Var<'t> {
+        (**self).encode_perturbed(sess, x, supports)
+    }
+
+    fn decode<'t>(&self, sess: &mut Session<'t, '_>, h: Var<'t>) -> Var<'t> {
+        (**self).decode(sess, h)
+    }
+
+    fn forward<'t>(&self, sess: &mut Session<'t, '_>, x: Var<'t>) -> Var<'t> {
+        (**self).forward(sess, x)
+    }
+}
+
 /// Standard decoder used by most backbones: a per-node MLP from latent
 /// features to the horizon (the stacked feed-forward STDecoder of Fig. 4).
 pub(crate) mod decoder {

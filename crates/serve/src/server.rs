@@ -1,26 +1,27 @@
-//! The batching server: request queue, coalescing worker, hot-swap.
+//! Shared serving types, the single-tenant [`Server`] facade, and the
+//! batched forward pass.
+//!
+//! The runtime itself (shards, workers, admission control, hot-swap) lives
+//! in [`crate::tenant`]; `Server` is a one-tenant convenience wrapper over
+//! the same machinery, so a single-model deployment and a [`crate::Tenants`]
+//! registry exercise identical code paths.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
-use urcl_core::persist::{CheckpointDir, CheckpointFingerprint};
+use urcl_core::persist::CheckpointDir;
 use urcl_models::Backbone;
 use urcl_tensor::autodiff::{Session, Tape};
-use urcl_tensor::Tensor;
+use urcl_tensor::{ParamStore, Tensor};
 
+use crate::cache::CachePolicy;
 use crate::snapshot::ModelSnapshot;
-
-/// How long the idle worker sleeps between shutdown checks when the
-/// queue is empty (requests interrupt it immediately via the condvar).
-const IDLE_TICK: Duration = Duration::from_millis(25);
+use crate::tenant::{TenantClient, TenantRuntime, TenantStats};
 
 /// Request-coalescing policy.
 ///
-/// When a request arrives on an idle server, the worker holds the batch
+/// When a request arrives on an idle shard, the worker holds the batch
 /// open for up to `max_delay`, hoping concurrent requests fill it to
 /// `max_batch`; whichever limit is hit first closes the batch. A single
 /// sparse client therefore pays at most `max_delay` extra latency, while
@@ -43,10 +44,10 @@ impl Default for BatchPolicy {
     }
 }
 
-/// Server configuration.
+/// Per-tenant serving configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Request-coalescing policy.
+    /// Request-coalescing policy (applied per shard).
     pub policy: BatchPolicy,
     /// Which input channel the forecasts denormalize as (the dataset's
     /// `target_channel`).
@@ -57,6 +58,26 @@ pub struct ServeConfig {
     /// the no-change case a single `stat` call). `None` leaves reloads to
     /// explicit [`Server::reload_now`] calls.
     pub reload_interval: Option<Duration>,
+    /// Number of independent shards (queue + worker thread each). Requests
+    /// are routed round-robin; shards never share a lock, so on multi-core
+    /// hosts they batch and forward concurrently. Defaults to the host's
+    /// available parallelism.
+    pub shards: usize,
+    /// Admission bound per shard queue. When every shard is at its bound,
+    /// submits fail fast with [`ServeError::Shed`] instead of queueing
+    /// unboundedly. Defaults to 1024.
+    pub queue_bound: usize,
+    /// Optional response cache with in-flight deduplication: forecasts are
+    /// memoized by `(snapshot generation, window bits)` — exact, because a
+    /// forecaster is a pure function of those — and identical concurrent
+    /// requests share one forward. `None` (the default) disables caching.
+    pub cache: Option<CachePolicy>,
+    /// Use the fast `tanh` kernel (exp-identity, ≤ 5e-7 absolute error)
+    /// for forwards on this tenant. Off by default so serving stays
+    /// bitwise identical to the trainer's own evaluation; benchmarks and
+    /// throughput-first deployments opt in. Scoped to the serving
+    /// forwards — training in the same process is never affected.
+    pub fast_activations: bool,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +86,10 @@ impl Default for ServeConfig {
             policy: BatchPolicy::default(),
             target_channel: 0,
             reload_interval: None,
+            shards: urcl_tensor::host_parallelism(),
+            queue_bound: 1024,
+            cache: None,
+            fast_activations: false,
         }
     }
 }
@@ -82,6 +107,20 @@ pub enum ServeError {
     Reload(String),
     /// The server is shutting down and no longer accepts requests.
     ShuttingDown,
+    /// Admission control rejected the request: every shard queue of the
+    /// tenant was at its bound. `depth` is the deepest queue observed
+    /// during the routing sweep. Typed backpressure — callers decide
+    /// whether to retry, downsample, or surface the overload.
+    Shed {
+        /// Tenant that shed the request.
+        tenant: String,
+        /// Deepest shard queue observed at rejection time.
+        depth: usize,
+    },
+    /// No tenant with that name is registered.
+    UnknownTenant(String),
+    /// A tenant with that name is already registered.
+    TenantExists(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -91,6 +130,12 @@ impl std::fmt::Display for ServeError {
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Reload(msg) => write!(f, "checkpoint reload failed: {msg}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Shed { tenant, depth } => write!(
+                f,
+                "request shed: tenant {tenant:?} at admission bound (queue depth {depth})"
+            ),
+            ServeError::UnknownTenant(name) => write!(f, "unknown tenant {name:?}"),
+            ServeError::TenantExists(name) => write!(f, "tenant {name:?} already registered"),
         }
     }
 }
@@ -114,171 +159,90 @@ pub struct PendingForecast {
 }
 
 impl PendingForecast {
+    pub(crate) fn new(rx: mpsc::Receiver<Result<Forecast, ServeError>>) -> Self {
+        Self { rx }
+    }
+
     /// Blocks until the batch containing this request has run.
     pub fn wait(self) -> Result<Forecast, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
     }
+
+    /// Blocks for at most `timeout`; `None` means the reply has not
+    /// arrived yet (the handle is consumed — watchdog use, where a
+    /// missing reply is itself the failure being tested).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Result<Forecast, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
 }
 
-/// Point-in-time serving statistics (atomic reads, no locks).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Requests accepted by [`Server::submit`].
-    pub requests: u64,
-    /// Batched forward passes executed.
-    pub batches: u64,
-    /// Largest batch fused so far (never exceeds the policy's
-    /// `max_batch`).
-    pub max_batch: u64,
-    /// Successful snapshot hot-swaps.
-    pub swaps: u64,
-    /// Failed reload attempts (old snapshot kept serving).
-    pub reload_failures: u64,
-}
+/// Point-in-time serving statistics — for a single-tenant [`Server`]
+/// these are the counters of its one tenant.
+pub type ServerStats = TenantStats;
 
-struct Pending {
-    window: Tensor,
-    enqueued: Instant,
-    tx: mpsc::Sender<Result<Forecast, ServeError>>,
-}
-
-struct Shared<B> {
-    model: B,
-    template: urcl_tensor::ParamStore,
-    source: CheckpointDir,
-    policy: BatchPolicy,
-    target_channel: usize,
-    snapshot: Mutex<Option<Arc<ModelSnapshot>>>,
-    fingerprint: Mutex<Option<CheckpointFingerprint>>,
-    queue: Mutex<VecDeque<Pending>>,
-    notify: Condvar,
-    shutdown: AtomicBool,
-    generation: AtomicU64,
-    requests: AtomicU64,
-    batches: AtomicU64,
-    max_batch_seen: AtomicU64,
-    swaps: AtomicU64,
-    reload_failures: AtomicU64,
-}
-
-/// A batched inference server over one [`Backbone`].
+/// A sharded, batched inference server over one [`Backbone`] — the
+/// single-tenant facade over the same runtime [`crate::Tenants`] uses.
 ///
-/// The server owns a worker thread that drains the request queue under
-/// the [`BatchPolicy`], and (optionally) a reload thread that follows a
-/// trainer's [`CheckpointDir`]. Dropping the server shuts both down
-/// gracefully: queued requests are completed first, and later
-/// [`Server::submit`] calls fail with [`ServeError::ShuttingDown`].
-pub struct Server<B: Backbone + Send + Sync + 'static> {
-    shared: Arc<Shared<B>>,
-    worker: Option<JoinHandle<()>>,
-    reloader: Option<JoinHandle<()>>,
+/// The server owns `shards` worker threads that drain per-shard request
+/// queues under the [`BatchPolicy`], and (optionally) a reload thread
+/// that follows a trainer's [`CheckpointDir`]. Dropping the server shuts
+/// everything down gracefully: queued requests are completed first, and
+/// later [`Server::submit`] calls fail with [`ServeError::ShuttingDown`].
+pub struct Server {
+    // Field order is drop order: the runtime must drain before the
+    // client handle goes away (either order is safe; this one is tidy).
+    runtime: TenantRuntime,
+    client: TenantClient,
 }
 
-impl<B: Backbone + Send + Sync + 'static> Server<B> {
+impl Server {
     /// Starts the server.
     ///
     /// `model` is the backbone *architecture* — its weights are ignored;
     /// every forward pass reads parameters from the current snapshot.
-    /// `template` is the [`urcl_tensor::ParamStore`] the model was
-    /// constructed against; it defines the layout checkpoints must match.
-    /// If `source` already holds a loadable checkpoint it becomes the
-    /// initial snapshot; otherwise the server starts empty and answers
+    /// `template` is the [`ParamStore`] the model was constructed
+    /// against; it defines the layout checkpoints must match. If `source`
+    /// already holds a loadable checkpoint it becomes the initial
+    /// snapshot; otherwise the server starts empty and answers
     /// [`ServeError::NoSnapshot`] until a reload succeeds.
     pub fn start(
-        model: B,
-        template: urcl_tensor::ParamStore,
+        model: impl Backbone + Send + Sync + 'static,
+        template: ParamStore,
         source: CheckpointDir,
         config: ServeConfig,
     ) -> Self {
-        assert!(config.policy.max_batch > 0, "max_batch must be positive");
-        let shared = Arc::new(Shared {
-            model,
-            template,
-            source,
-            policy: config.policy,
-            target_channel: config.target_channel,
-            snapshot: Mutex::new(None),
-            fingerprint: Mutex::new(None),
-            queue: Mutex::new(VecDeque::new()),
-            notify: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            generation: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            max_batch_seen: AtomicU64::new(0),
-            swaps: AtomicU64::new(0),
-            reload_failures: AtomicU64::new(0),
-        });
-        // Best-effort initial load: an empty or unreadable directory just
-        // means the trainer hasn't published yet.
-        let _ = reload(&shared, true);
-        let worker = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("urcl-serve-worker".into())
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn serve worker")
-        };
-        let reloader = config.reload_interval.map(|interval| {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("urcl-serve-reload".into())
-                .spawn(move || reload_loop(&shared, interval))
-                .expect("spawn serve reloader")
-        });
-        Self {
-            shared,
-            worker: Some(worker),
-            reloader,
-        }
+        let runtime = TenantRuntime::start("default", Box::new(model), template, source, config);
+        let client = runtime.client();
+        Self { runtime, client }
+    }
+
+    /// A cheap clonable handle for submitting from other threads without
+    /// borrowing the server.
+    pub fn client(&self) -> TenantClient {
+        self.runtime.client()
     }
 
     /// Enqueues one `[M, N, C]` physical-unit window and returns a reply
     /// handle. The window's geometry is validated eagerly; normalization
     /// happens inside the batch, with the snapshot that serves it.
     pub fn submit(&self, window: Tensor) -> Result<PendingForecast, ServeError> {
-        if self.shared.shutdown.load(Ordering::Acquire) {
-            return Err(ServeError::ShuttingDown);
-        }
-        let cfg = self.shared.model.config();
-        let expected = [cfg.input_steps, cfg.num_nodes, cfg.channels];
-        if window.shape() != expected {
-            return Err(ServeError::BadRequest(format!(
-                "window shape {:?} does not match model geometry {:?} ([M, N, C])",
-                window.shape(),
-                expected
-            )));
-        }
-        let (tx, rx) = mpsc::channel();
-        {
-            let mut queue = lock(&self.shared.queue);
-            queue.push_back(Pending {
-                window,
-                enqueued: Instant::now(),
-                tx,
-            });
-            urcl_trace::gauge_set("serve.queue_depth", queue.len() as f64);
-        }
-        self.shared.requests.fetch_add(1, Ordering::Relaxed);
-        urcl_trace::counter_inc("serve.requests");
-        self.shared.notify.notify_all();
-        Ok(PendingForecast { rx })
+        self.client.submit(window)
     }
 
     /// Submits one window and blocks for its forecast.
     pub fn predict(&self, window: &Tensor) -> Result<Forecast, ServeError> {
-        self.submit(window.clone())?.wait()
+        self.client.predict(window)
     }
 
     /// Submits a whole burst at once and blocks for every forecast, in
     /// order. Bursts larger than the policy's `max_batch` are simply
-    /// split across consecutive batches by the worker.
+    /// split across consecutive batches by the workers.
     pub fn predict_many(&self, windows: &[Tensor]) -> Result<Vec<Forecast>, ServeError> {
-        let handles: Vec<PendingForecast> = windows
-            .iter()
-            .map(|w| self.submit(w.clone()))
-            .collect::<Result<_, _>>()?;
-        handles.into_iter().map(PendingForecast::wait).collect()
+        self.client.predict_many(windows)
     }
 
     /// Checks the checkpoint directory and hot-swaps the snapshot if the
@@ -288,192 +252,35 @@ impl<B: Backbone + Send + Sync + 'static> Server<B> {
     /// swap takes effect from the next batch. On failure the old snapshot
     /// keeps serving and the error is returned.
     pub fn reload_now(&self) -> Result<bool, ServeError> {
-        reload(&self.shared, false)
+        self.client.reload_now()
     }
 
     /// Whether a snapshot is currently loaded.
     pub fn has_snapshot(&self) -> bool {
-        lock(&self.shared.snapshot).is_some()
+        self.client.has_snapshot()
     }
 
     /// The currently serving snapshot (if any). The returned `Arc` stays
     /// valid across hot-swaps — exactly the guarantee in-flight batches
     /// rely on.
     pub fn snapshot(&self) -> Option<Arc<ModelSnapshot>> {
-        lock(&self.shared.snapshot).clone()
+        self.client.snapshot()
     }
 
     /// Generation of the current snapshot, or `None` before the first
     /// successful load.
     pub fn generation(&self) -> Option<u64> {
-        lock(&self.shared.snapshot).as_ref().map(|s| s.generation())
+        self.client.generation()
     }
 
-    /// Point-in-time counters (requests, batches, swaps, failures).
+    /// Point-in-time counters (requests, sheds, batches, swaps, cache).
     pub fn stats(&self) -> ServerStats {
-        ServerStats {
-            requests: self.shared.requests.load(Ordering::Relaxed),
-            batches: self.shared.batches.load(Ordering::Relaxed),
-            max_batch: self.shared.max_batch_seen.load(Ordering::Relaxed),
-            swaps: self.shared.swaps.load(Ordering::Relaxed),
-            reload_failures: self.shared.reload_failures.load(Ordering::Relaxed),
-        }
+        self.client.stats()
     }
 
     /// The model geometry requests must match (`[M, N, C]` windows).
     pub fn input_shape(&self) -> [usize; 3] {
-        let cfg = self.shared.model.config();
-        [cfg.input_steps, cfg.num_nodes, cfg.channels]
-    }
-}
-
-impl<B: Backbone + Send + Sync + 'static> Drop for Server<B> {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.notify.notify_all();
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
-        }
-        if let Some(reloader) = self.reloader.take() {
-            let _ = reloader.join();
-        }
-    }
-}
-
-/// Mutex lock that survives a poisoned peer (a panicking worker must not
-/// wedge the whole server).
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-fn reload<B>(shared: &Shared<B>, force: bool) -> Result<bool, ServeError> {
-    let fingerprint = shared.source.fingerprint();
-    if !force && fingerprint.is_some() && *lock(&shared.fingerprint) == fingerprint {
-        return Ok(false);
-    }
-    let _sp = urcl_trace::span("serve_reload");
-    let loaded = shared.source.load().and_then(|ckpt| {
-        let generation = shared.generation.load(Ordering::Relaxed) + 1;
-        ModelSnapshot::from_checkpoint(&ckpt, &shared.template, generation).map_err(|e| {
-            urcl_core::PersistError::Format(e.to_string())
-        })
-    });
-    match loaded {
-        Ok(snapshot) => {
-            shared.generation.store(snapshot.generation(), Ordering::Relaxed);
-            *lock(&shared.snapshot) = Some(Arc::new(snapshot));
-            *lock(&shared.fingerprint) = fingerprint;
-            shared.swaps.fetch_add(1, Ordering::Relaxed);
-            urcl_trace::counter_inc("serve.swaps");
-            Ok(true)
-        }
-        Err(e) => {
-            // Remember the torn/bad fingerprint so the poller does not
-            // retry the identical bytes every tick, but keep serving the
-            // old snapshot.
-            *lock(&shared.fingerprint) = fingerprint;
-            shared.reload_failures.fetch_add(1, Ordering::Relaxed);
-            urcl_trace::counter_inc("serve.reload_failures");
-            Err(ServeError::Reload(e.to_string()))
-        }
-    }
-}
-
-fn reload_loop<B>(shared: &Shared<B>, interval: Duration) {
-    let mut next = Instant::now() + interval;
-    while !shared.shutdown.load(Ordering::Acquire) {
-        std::thread::sleep(IDLE_TICK.min(interval));
-        if Instant::now() < next {
-            continue;
-        }
-        next = Instant::now() + interval;
-        // Failures are counted and traced; the poller just keeps trying.
-        let _ = reload(shared, false);
-    }
-}
-
-fn worker_loop<B: Backbone>(shared: &Shared<B>) {
-    loop {
-        let batch = {
-            let mut queue = lock(&shared.queue);
-            // Idle: wait for a request (or shutdown once drained).
-            loop {
-                if !queue.is_empty() {
-                    break;
-                }
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                queue = shared
-                    .notify
-                    .wait_timeout(queue, IDLE_TICK)
-                    .unwrap_or_else(|e| e.into_inner())
-                    .0;
-            }
-            // Coalesce: hold the batch open until it fills or the oldest
-            // request's delay budget runs out. Shutdown closes it early.
-            let deadline = queue.front().expect("non-empty").enqueued + shared.policy.max_delay;
-            while queue.len() < shared.policy.max_batch
-                && !shared.shutdown.load(Ordering::Acquire)
-            {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                let (guard, timeout) = shared
-                    .notify
-                    .wait_timeout(queue, deadline - now)
-                    .unwrap_or_else(|e| e.into_inner());
-                queue = guard;
-                if timeout.timed_out() {
-                    break;
-                }
-            }
-            let take = queue.len().min(shared.policy.max_batch);
-            let batch: Vec<Pending> = queue.drain(..take).collect();
-            urcl_trace::gauge_set("serve.queue_depth", queue.len() as f64);
-            batch
-        };
-        run_batch(shared, batch);
-    }
-}
-
-fn run_batch<B: Backbone>(shared: &Shared<B>, batch: Vec<Pending>) {
-    let _sp = urcl_trace::span("serve_batch");
-    shared.batches.fetch_add(1, Ordering::Relaxed);
-    shared
-        .max_batch_seen
-        .fetch_max(batch.len() as u64, Ordering::Relaxed);
-    urcl_trace::counter_inc("serve.batches");
-    urcl_trace::histogram_record("serve.batch_size", batch.len() as f64);
-
-    // Capture the snapshot once for the whole batch: a hot-swap between
-    // batches never splits one batch across two snapshots, and holding
-    // the Arc keeps the old snapshot alive until these replies are out.
-    let snapshot = lock(&shared.snapshot).clone();
-    let Some(snapshot) = snapshot else {
-        for pending in batch {
-            let _ = pending.tx.send(Err(ServeError::NoSnapshot));
-        }
-        return;
-    };
-
-    let mut windows = Vec::with_capacity(batch.len());
-    let mut replies = Vec::with_capacity(batch.len());
-    for pending in batch {
-        windows.push(pending.window);
-        replies.push((pending.enqueued, pending.tx));
-    }
-    let predictions = forward_batch(&shared.model, &snapshot, &windows, shared.target_channel);
-    for ((enqueued, tx), prediction) in replies.into_iter().zip(predictions) {
-        urcl_trace::histogram_record(
-            "serve.latency_seconds",
-            enqueued.elapsed().as_secs_f64(),
-        );
-        let _ = tx.send(Ok(Forecast {
-            prediction,
-            generation: snapshot.generation(),
-        }));
+        self.client.input_shape()
     }
 }
 
@@ -482,11 +289,16 @@ fn run_batch<B: Backbone>(shared: &Shared<B>, batch: Vec<Pending>) {
 /// forward pass, split into per-window `[H, N]` forecasts and denormalize
 /// the target channel.
 ///
-/// This is the exact computation the [`Server`] worker performs per
-/// batch, exposed so the batching invariant is testable in isolation:
-/// because the tensor runtime only ever parallelizes over disjoint output
+/// This is the exact computation the serving workers perform per batch,
+/// exposed so the batching invariant is testable in isolation: because
+/// the tensor runtime only ever parallelizes over disjoint output
 /// regions, a batched forward is **bitwise identical** to running each
 /// window through a batch of one.
+///
+/// Activation kernels follow the calling thread's
+/// [`urcl_tensor::FastActGuard`] state at record time, so a reference
+/// forward for a [`ServeConfig::fast_activations`] tenant reproduces the
+/// server bit for bit by wrapping this call in a guard.
 pub fn forward_batch<B: Backbone + ?Sized>(
     model: &B,
     snapshot: &ModelSnapshot,
@@ -501,7 +313,7 @@ pub fn forward_batch<B: Backbone + ?Sized>(
     let norm = snapshot.normalizer();
     let mut data = Vec::with_capacity(windows.len() * m * n * c);
     for window in windows {
-        data.extend_from_slice(norm.transform(window).data());
+        norm.transform_into(window, &mut data);
     }
     let x = Tensor::from_vec(data, &[windows.len(), m, n, c]);
 

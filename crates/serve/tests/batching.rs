@@ -53,7 +53,7 @@ impl Fixture {
         }
     }
 
-    fn server(&self, policy: BatchPolicy) -> Server<urcl_models::GraphWaveNet> {
+    fn server(&self, policy: BatchPolicy) -> Server {
         let (model, template) = UrclPipeline::serving_parts(
             &self.ds.network,
             &self.ds.config,
@@ -66,7 +66,10 @@ impl Fixture {
             ServeConfig {
                 policy,
                 target_channel: self.ds.config.target_channel,
-                reload_interval: None,
+                // One shard: these tests pin per-shard coalescing
+                // behaviour (burst splits, full-batch fusion).
+                shards: 1,
+                ..ServeConfig::default()
             },
         )
     }

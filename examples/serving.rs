@@ -60,6 +60,7 @@ fn main() {
             },
             target_channel: ds.config.target_channel,
             reload_interval: None, // we trigger reloads explicitly below
+            ..ServeConfig::default()
         },
     );
     println!(

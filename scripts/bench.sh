@@ -11,9 +11,12 @@
 # Also runs bench_checkpoint, which times full-pipeline (v2) and
 # params-only checkpoint saves/loads through the atomic latest/previous
 # rotation and writes BENCH_checkpoint.json (latency + document size),
-# and bench_serve, which drives the batched inference server across
-# (threads, max_batch) cells and writes BENCH_serve.json (throughput +
-# client-side p50/p95/p99 latency), and bench_train_step, which measures
+# and bench_serve, which closed-loop sweeps the sharded multi-tenant
+# serving runtime across (threads, shards, tenants, max_batch, cache)
+# cells — thousands of client threads at the top end — and writes
+# BENCH_serve.json (schema urcl-bench-serve-v2: aggregate req/s plus
+# per-tenant p50/p95/p99, shed and cache counters, validated by
+# validate_json), and bench_train_step, which measures
 # end-to-end training-step throughput over {1,4} threads x buffer
 # pooling {off,on} and writes BENCH_train_step.json (the pooling-speedup
 # acceptance numbers).

@@ -44,6 +44,15 @@ echo "== crash/resume fault injection (release) =="
 # guarding against a resume loop that stops making progress.
 timeout 600 cargo test -q --offline --release --test crash_resume
 
+echo "== serve stress: sharded multi-tenant runtime under load (release) =="
+# Hundreds of concurrent clients across three tenants, hot-swap mid-burst,
+# seeded drain interleavings and the router property sweep — debug builds
+# make the forward passes dominate, so this stage runs in release with a
+# wall-clock budget against scheduler-dependent hangs.
+timeout 600 cargo test -q --offline --release -p urcl-serve \
+  --test shard_stress --test swap_under_load \
+  --test router_props --test drain_interleavings
+
 if [[ "$FULL" == 1 ]]; then
   echo "== full-size integration tests (ignored set) =="
   cargo test -q --offline --test end_to_end --test backbones -- --ignored

@@ -11,7 +11,6 @@
 //! in-memory snapshot untouched.
 
 use urcl::core::{CheckpointDir, TrainerConfig, UrclPipeline};
-use urcl::models::GraphWaveNet;
 use urcl::serve::{BatchPolicy, ServeConfig, ServeError, Server};
 use urcl::stdata::{DatasetConfig, SyntheticDataset};
 use urcl::tensor::Tensor;
@@ -53,7 +52,7 @@ impl Trainer {
             .narrow(0, offset, self.ds.config.input_steps)
     }
 
-    fn server(&self, slots: CheckpointDir) -> Server<GraphWaveNet> {
+    fn server(&self, slots: CheckpointDir) -> Server {
         let (model, template) = UrclPipeline::serving_parts(
             &self.ds.network,
             &self.ds.config,
@@ -66,7 +65,8 @@ impl Trainer {
             ServeConfig {
                 policy: BatchPolicy::default(),
                 target_channel: self.ds.config.target_channel,
-                reload_interval: None,
+                shards: 1,
+                ..ServeConfig::default()
             },
         )
     }
