@@ -1,16 +1,21 @@
 //! End-to-end training-step throughput on the tiny GraphWaveNet pipeline:
 //! forward, backward, gradient accumulation and an Adam update per step,
 //! swept over {1, 4} threads × {pooling off / pooling on / pooling on +
-//! SIMD fast kernels} in one process. Prints a table and writes
-//! `BENCH_train_step.json` at the workspace root.
+//! SIMD fast kernels / pooled + SIMD + compiled plan} in one process.
+//! Prints a table and writes `BENCH_train_step.json` at the workspace
+//! root.
 //!
 //! Every cell rebuilds the model from the same seed and consumes the same
 //! fixed batch sequence, so the final losses must be bitwise identical
-//! across all six cells — the bench asserts this, making it a cheap
-//! determinism canary on top of `pool_determinism.rs` and an end-to-end
-//! SIMD↔scalar parity check on top of `simd_parity.rs`. With pooling on
-//! it also reports the steady-state pool miss count (expected: zero —
-//! every buffer shape the step needs is cached during warmup).
+//! across all cells — the bench asserts this, making it a cheap
+//! determinism canary on top of `pool_determinism.rs`, an end-to-end
+//! SIMD↔scalar parity check on top of `simd_parity.rs`, and an
+//! interpreter↔plan parity check on top of `plan_parity.rs`. With pooling
+//! on it also reports the steady-state pool miss count (expected: zero —
+//! every buffer shape the step needs is cached during warmup). The plan
+//! cells compile one `ExecPlan` up front and replay it every step; the
+//! plan gate requires ≥ 1.15× over the pooled+simd interpreter cell at
+//! both thread counts.
 //!
 //! Thread-scaling acceptance is host-aware: on a host with ≥ 4 physical
 //! cores the 4-thread SIMD cell must beat the 1-thread SIMD cell by
@@ -33,7 +38,7 @@ use urcl_stdata::{stack_samples, Batch, Sample};
 use urcl_tensor::autodiff::{Session, Tape};
 use urcl_tensor::{
     buffer_pool_stats, op_profile, reset_buffer_pool_stats, reset_op_profile, set_pooling,
-    set_simd, set_threads, Adam, Optimizer, ParamStore, Rng,
+    set_simd, set_threads, Adam, ExecPlan, Optimizer, ParamStore, PlanSpec, Rng,
 };
 
 const NODES: usize = 24;
@@ -82,19 +87,58 @@ fn train_step(model: &GraphWaveNet, store: &mut ParamStore, opt: &mut Adam, batc
     loss_val
 }
 
+/// Records one training tape for the model at the bench's fixed batch
+/// shape and compiles it into a reusable plan. Parameter values are read
+/// from the store at replay time, so compiling before training is fine.
+fn compile_plan(model: &GraphWaveNet, store: &ParamStore, batch: &Batch) -> ExecPlan {
+    let tape = Tape::new();
+    let mut sess = Session::new(&tape, store);
+    let x = sess.input(batch.x.clone());
+    let y = sess.input(batch.y.clone());
+    let loss = model.forward(&mut sess, x).sub(y).abs().mean_all();
+    let binds = sess.into_bindings();
+    ExecPlan::compile(
+        &tape,
+        &PlanSpec {
+            root: Some(loss.index()),
+            inputs: &[x.index(), y.index()],
+            outputs: &[],
+            bindings: &binds,
+        },
+    )
+}
+
+/// One full optimisation step replaying a compiled plan instead of
+/// re-recording the tape; must produce bitwise-identical losses/params.
+fn train_step_plan(plan: &ExecPlan, store: &mut ParamStore, opt: &mut Adam, batch: &Batch) -> f32 {
+    store.zero_grads();
+    let (loss, grads) = plan.run_training(store, &[&batch.x, &batch.y]);
+    store.accumulate_grads(plan.bindings(), &grads);
+    opt.step(store);
+    loss.item()
+}
+
 struct Cell {
     threads: usize,
     pooling: bool,
     simd: bool,
+    plan: bool,
     steps_per_sec: f64,
     final_loss: f32,
     pool_misses: u64,
 }
 
-/// Runs one (threads, pooling, simd) cell: fresh model from a fixed seed,
-/// `warmup` untimed steps, then `timed` measured steps over a replayed
-/// batch schedule identical across cells.
-fn run_cell(threads: usize, pooling: bool, simd: bool, warmup: usize, timed: usize) -> Cell {
+/// Runs one (threads, pooling, simd, plan) cell: fresh model from a fixed
+/// seed, `warmup` untimed steps, then `timed` measured steps over a
+/// replayed batch schedule identical across cells.
+fn run_cell(
+    threads: usize,
+    pooling: bool,
+    simd: bool,
+    plan: bool,
+    warmup: usize,
+    timed: usize,
+) -> Cell {
     set_threads(threads);
     set_pooling(pooling);
     set_simd(simd);
@@ -106,10 +150,16 @@ fn run_cell(threads: usize, pooling: bool, simd: bool, warmup: usize, timed: usi
     let model = GraphWaveNet::new(&mut store, &mut rng, &net, cfg);
     let mut opt = Adam::new(1e-3);
     let batches: Vec<Batch> = (0..4).map(|_| make_batch(&mut rng)).collect();
+    let exec_plan = plan.then(|| compile_plan(&model, &store, &batches[0]));
+
+    let step = |store: &mut ParamStore, opt: &mut Adam, batch: &Batch| match &exec_plan {
+        Some(p) => train_step_plan(p, store, opt, batch),
+        None => train_step(&model, store, opt, batch),
+    };
 
     let mut final_loss = 0.0f32;
     for i in 0..warmup {
-        final_loss = train_step(&model, &mut store, &mut opt, &batches[i % batches.len()]);
+        final_loss = step(&mut store, &mut opt, &batches[i % batches.len()]);
     }
     reset_buffer_pool_stats();
     reset_op_profile();
@@ -121,8 +171,7 @@ fn run_cell(threads: usize, pooling: bool, simd: bool, warmup: usize, timed: usi
     for round in 0..rounds {
         let t0 = Instant::now();
         for i in 0..timed {
-            final_loss = train_step(
-                &model,
+            final_loss = step(
                 &mut store,
                 &mut opt,
                 &batches[(warmup + round * timed + i) % batches.len()],
@@ -153,9 +202,10 @@ fn run_cell(threads: usize, pooling: bool, simd: bool, warmup: usize, timed: usi
 
     let steps_per_sec = timed as f64 / secs;
     println!(
-        "{threads} threads, pooling {:<3} simd {:<3}  {steps_per_sec:>7.2} steps/s  ({:>7.2} ms/step){}",
+        "{threads} threads, pooling {:<3} simd {:<3} plan {:<3}  {steps_per_sec:>7.2} steps/s  ({:>7.2} ms/step){}",
         if pooling { "on" } else { "off" },
         if simd { "on" } else { "off" },
+        if plan { "on" } else { "off" },
         1e3 * secs / timed as f64,
         if pooling {
             format!(
@@ -172,10 +222,58 @@ fn run_cell(threads: usize, pooling: bool, simd: bool, warmup: usize, timed: usi
         threads,
         pooling,
         simd,
+        plan,
         steps_per_sec,
         final_loss,
         pool_misses,
     }
+}
+
+/// Paired plan-vs-interpreter measurement: alternates interpreter and
+/// plan rounds inside one time window so slow host-load drift hits both
+/// arms equally, then takes each arm's best round. The sweep table still
+/// measures the plan cells for reporting and the bitwise check; this
+/// pairing exists because the table's two pooled+simd cells run minutes
+/// apart, and on a busy shared host that drift can dominate a ~15%
+/// ratio. Both arms are freshly seeded with the table's seed, so their
+/// step streams are identical.
+fn plan_duel(threads: usize, warmup: usize, timed: usize) -> (f64, f64) {
+    set_threads(threads);
+    set_pooling(true);
+    set_simd(true);
+    let mk = || {
+        let mut rng = Rng::seed_from_u64(23);
+        let net = random_geometric(NODES, 0.3, &mut rng);
+        let mut store = ParamStore::new();
+        let cfg = GwnConfig::small(NODES, CHANNELS, STEPS, 1);
+        let model = GraphWaveNet::new(&mut store, &mut rng, &net, cfg);
+        let batches: Vec<Batch> = (0..4).map(|_| make_batch(&mut rng)).collect();
+        (store, model, Adam::new(1e-3), batches)
+    };
+    let (mut s0, m0, mut o0, b0) = mk();
+    let (mut s1, m1, mut o1, b1) = mk();
+    let plan = compile_plan(&m1, &s1, &b1[0]);
+    for i in 0..warmup {
+        train_step(&m0, &mut s0, &mut o0, &b0[i % b0.len()]);
+        train_step_plan(&plan, &mut s1, &mut o1, &b1[i % b1.len()]);
+    }
+    let rounds = 6;
+    let (mut best_interp, mut best_plan) = (f64::INFINITY, f64::INFINITY);
+    for round in 0..rounds {
+        let t0 = Instant::now();
+        for i in 0..timed {
+            let bi = (warmup + round * timed + i) % b0.len();
+            train_step(&m0, &mut s0, &mut o0, &b0[bi]);
+        }
+        best_interp = best_interp.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        for i in 0..timed {
+            let bi = (warmup + round * timed + i) % b1.len();
+            train_step_plan(&plan, &mut s1, &mut o1, &b1[bi]);
+        }
+        best_plan = best_plan.min(t0.elapsed().as_secs_f64());
+    }
+    (timed as f64 / best_interp, timed as f64 / best_plan)
 }
 
 fn main() {
@@ -192,31 +290,37 @@ fn main() {
     let prev_pool = set_pooling(true);
     let prev_simd = set_simd(false);
     let cells: Vec<Cell> = [
-        (1usize, false, false),
-        (1, true, false),
-        (1, true, true),
-        (4, false, false),
-        (4, true, false),
-        (4, true, true),
+        (1usize, false, false, false),
+        (1, true, false, false),
+        (1, true, true, false),
+        (1, true, true, true),
+        (4, false, false, false),
+        (4, true, false, false),
+        (4, true, true, false),
+        (4, true, true, true),
     ]
     .into_iter()
-    .map(|(t, p, s)| run_cell(t, p, s, warmup, timed))
+    .map(|(t, p, s, pl)| run_cell(t, p, s, pl, warmup, timed))
     .collect();
+    let (duel_interp_1t, duel_plan_1t) = plan_duel(1, warmup, timed);
+    let (duel_interp_4t, duel_plan_4t) = plan_duel(4, warmup, timed);
     set_threads(prev_threads);
     set_pooling(prev_pool);
     set_simd(prev_simd);
 
-    // All six cells ran the same seeded schedule: numerics must agree —
-    // this pins the SIMD fast path bitwise to the scalar baseline through
-    // a full train step, not just per-kernel.
+    // All cells ran the same seeded schedule: numerics must agree — this
+    // pins the SIMD fast path AND the compiled plan bitwise to the scalar
+    // tape-interpreter baseline through a full train step, not just
+    // per-kernel.
     for c in &cells[1..] {
         assert_eq!(
             c.final_loss.to_bits(),
             cells[0].final_loss.to_bits(),
-            "cell ({} threads, pooling={}, simd={}) diverged from reference loss",
+            "cell ({} threads, pooling={}, simd={}, plan={}) diverged from reference loss",
             c.threads,
             c.pooling,
             c.simd,
+            c.plan,
         );
     }
     // After warmup the pool has cached every buffer shape the step needs,
@@ -229,13 +333,16 @@ fn main() {
         );
     }
 
-    let rate = |threads: usize, pooling: bool, simd: bool| {
+    let rate_of = |threads: usize, pooling: bool, simd: bool, plan: bool| {
         cells
             .iter()
-            .find(|c| c.threads == threads && c.pooling == pooling && c.simd == simd)
+            .find(|c| {
+                c.threads == threads && c.pooling == pooling && c.simd == simd && c.plan == plan
+            })
             .map(|c| c.steps_per_sec)
             .unwrap()
     };
+    let rate = |threads: usize, pooling: bool, simd: bool| rate_of(threads, pooling, simd, false);
     let speedup_1t = rate(1, true, false) / rate(1, false, false);
     let speedup_4t = rate(4, true, false) / rate(4, false, false);
     println!(
@@ -251,6 +358,28 @@ fn main() {
     assert!(
         simd_speedup_4t >= 1.5,
         "SIMD fast kernels must deliver >= 1.5x at 4 threads, got {simd_speedup_4t:.2}x"
+    );
+    // Plan gate: replaying the compiled plan must beat re-recording the
+    // tape (pooled + simd) at both thread counts, measured as a paired
+    // duel (see `plan_duel`) so host-load drift between the table's
+    // cells cannot fake or mask the speedup.
+    let plan_speedup_1t = duel_plan_1t / duel_interp_1t;
+    let plan_speedup_4t = duel_plan_4t / duel_interp_4t;
+    println!(
+        "plan duel (paired rounds): 1t interp {duel_interp_1t:.2} vs plan {duel_plan_1t:.2}, \
+         4t interp {duel_interp_4t:.2} vs plan {duel_plan_4t:.2} steps/s"
+    );
+    println!(
+        "plan speedup over pooled+simd interpreter: {plan_speedup_1t:.2}x at 1 thread, \
+         {plan_speedup_4t:.2}x at 4 threads (required: 1.15x at both)"
+    );
+    assert!(
+        plan_speedup_1t >= 1.15,
+        "compiled plan must deliver >= 1.15x at 1 thread, got {plan_speedup_1t:.2}x"
+    );
+    assert!(
+        plan_speedup_4t >= 1.15,
+        "compiled plan must deliver >= 1.15x at 4 threads, got {plan_speedup_4t:.2}x"
     );
     // Thread-scaling gate, host-aware (see module docs): the 4-thread
     // curve must rise on real multi-core hardware and must at least stay
@@ -293,6 +422,17 @@ fn main() {
                 .with("simd_speedup_1t", simd_speedup_1t)
                 .with("simd_speedup_4t", simd_speedup_4t)
                 .with("simd_required_4t", 1.5)
+                .with("plan_speedup_1t", plan_speedup_1t)
+                .with("plan_speedup_4t", plan_speedup_4t)
+                .with("plan_required", 1.15)
+                .with(
+                    "plan_duel",
+                    Value::object()
+                        .with("interp_steps_per_sec_1t", duel_interp_1t)
+                        .with("plan_steps_per_sec_1t", duel_plan_1t)
+                        .with("interp_steps_per_sec_4t", duel_interp_4t)
+                        .with("plan_steps_per_sec_4t", duel_plan_4t),
+                )
                 .with("thread_scaling_4t_over_1t", thread_scaling)
                 .with(
                     "thread_scaling_required",
@@ -309,6 +449,7 @@ fn main() {
                             .with("threads", c.threads)
                             .with("pooling", c.pooling)
                             .with("simd", c.simd)
+                            .with("plan", c.plan)
                             .with("steps_per_sec", c.steps_per_sec)
                             .with("ms_per_step", 1e3 / c.steps_per_sec)
                             .with("steady_state_pool_misses", c.pool_misses as f64)

@@ -92,7 +92,7 @@ fn validate_serve(doc: &Value) -> Result<(), String> {
 /// sections present with the right JSON types, and every span entry
 /// carrying count/total/mean.
 fn validate_trace(doc: &Value) -> Result<(), String> {
-    for key in ["spans", "counters", "gauges", "histograms", "pool"] {
+    for key in ["spans", "counters", "gauges", "histograms", "pool", "plan"] {
         match doc.get(key) {
             Some(Value::Object(_)) => {}
             Some(_) => return Err(format!("trace key {key:?} is not an object")),
@@ -159,6 +159,25 @@ fn validate_trace(doc: &Value) -> Result<(), String> {
             Some(v) if v >= 0.0 => {}
             Some(v) => return Err(format!("pool counter {key:?} negative: {v}")),
             None => return Err(format!("pool counter {key:?} missing or non-numeric")),
+        }
+    }
+    // Plan-engine telemetry: the execution-plan compiler/replayer counts
+    // compiles, replays and the per-replay savings (fused stages, dead
+    // gradient edges skipped, buffer moves, mid-replay drops). All must
+    // be present, numeric and non-negative.
+    let plan = doc.get("plan").expect("checked above");
+    for key in [
+        "compiles",
+        "replays",
+        "fused_stages",
+        "dead_edges_skipped",
+        "buffer_moves",
+        "values_dropped",
+    ] {
+        match plan.get(key).and_then(Value::as_f64) {
+            Some(v) if v >= 0.0 => {}
+            Some(v) => return Err(format!("plan counter {key:?} negative: {v}")),
+            None => return Err(format!("plan counter {key:?} missing or non-numeric")),
         }
     }
     // SIMD/host gauges added with the parallel-region telemetry:

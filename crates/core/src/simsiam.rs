@@ -4,6 +4,7 @@
 //! (Eq. 12–16) with a stop-gradient on the target branch (Eq. 13).
 
 use crate::augment::AugmentedView;
+use urcl_graph::SupportSet;
 use urcl_models::Backbone;
 use urcl_nn::linear::{Activation, Mlp};
 use urcl_tensor::autodiff::{Session, Var};
@@ -68,8 +69,35 @@ impl StSimSiam {
     ) -> Var<'t> {
         let x1 = sess.input(view1.x.clone());
         let x2 = sess.input(view2.x.clone());
-        let z1 = Self::pool(backbone.encode_perturbed(sess, x1, view1.supports.as_ref()));
-        let z2 = Self::pool(backbone.encode_perturbed(sess, x2, view2.supports.as_ref()));
+        self.loss_from_vars(
+            sess,
+            backbone,
+            x1,
+            view1.supports.as_ref(),
+            x2,
+            view2.supports.as_ref(),
+        )
+    }
+
+    /// [`Self::loss`] over already-registered view variables. Exposing the
+    /// view inputs lets the trainer record this graph once and compile it
+    /// into an `ExecPlan` that substitutes fresh view tensors per replay;
+    /// the `eye`/`off_mask` constants depend only on the batch size and
+    /// are captured by the plan. Perturbed `supports` embed as captured
+    /// constants too, so plan callers must only cache graphs whose
+    /// supports are fixed (the trainer falls back to the interpreter when
+    /// augmentation randomizes them).
+    pub fn loss_from_vars<'t>(
+        &self,
+        sess: &mut Session<'t, '_>,
+        backbone: &dyn Backbone,
+        x1: Var<'t>,
+        supports1: Option<&SupportSet>,
+        x2: Var<'t>,
+        supports2: Option<&SupportSet>,
+    ) -> Var<'t> {
+        let z1 = Self::pool(backbone.encode_perturbed(sess, x1, supports1));
+        let z2 = Self::pool(backbone.encode_perturbed(sess, x2, supports2));
         let p1 = self.projector.forward(sess, z1);
         let p2 = self.projector.forward(sess, z2);
 

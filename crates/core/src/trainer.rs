@@ -19,12 +19,14 @@ use crate::replay::ReplayBuffer;
 use crate::rmir::{rmir_sample, RmirStats};
 use crate::simsiam::StSimSiam;
 use crate::timing::Stopwatch;
-use urcl_graph::SensorNetwork;
+use urcl_graph::{SensorNetwork, SupportSet};
 use urcl_json::{ToJson, Value};
 use urcl_models::Backbone;
 use urcl_stdata::{stack_samples, ContinualSplit, DatasetConfig, Sample};
-use urcl_tensor::autodiff::{Session, Tape};
-use urcl_tensor::{Adam, AdamState, Optimizer, ParamStore, Rng};
+use urcl_tensor::autodiff::{Session, Tape, Var};
+use urcl_tensor::{
+    plan_enabled, Adam, AdamState, ExecPlan, Optimizer, ParamStore, PlanSpec, Rng, Tensor,
+};
 
 /// Training strategy for streaming data (Section V-B1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -382,6 +384,19 @@ struct StepOutcome {
     replay_inserted: usize,
 }
 
+/// Cache key for compiled training plans. The recorded step graph is a
+/// pure function of these whenever plan replay is attempted (augmentation
+/// — the one structure-randomizing component — forces the interpreter),
+/// so a key hit means the cached plan replays the exact graph this step
+/// would have recorded.
+#[derive(Clone, PartialEq, Eq)]
+struct PlanKey {
+    x: Vec<usize>,
+    y: Vec<usize>,
+    ssl: bool,
+    ewc: bool,
+}
+
 /// Drives a backbone through the streaming protocol.
 pub struct ContinualTrainer {
     config: TrainerConfig,
@@ -391,6 +406,11 @@ pub struct ContinualTrainer {
     opt: Adam,
     rmir_stats: RmirStats,
     cursor: TrainCursor,
+    /// Compiled training plans keyed by step-graph structure. Derived
+    /// state: never checkpointed, rebuilt on demand, dropped whenever
+    /// captured constants could go stale (run start, restore, EWC
+    /// re-anchoring).
+    plans: Vec<(PlanKey, ExecPlan)>,
 }
 
 impl ContinualTrainer {
@@ -407,6 +427,7 @@ impl ContinualTrainer {
             opt,
             rmir_stats: RmirStats::default(),
             cursor: TrainCursor::default(),
+            plans: Vec::new(),
         }
     }
 
@@ -461,6 +482,7 @@ impl ContinualTrainer {
         self.buffer = ReplayBuffer::from_samples(snapshot.replay_capacity, snapshot.replay);
         self.rmir_stats = snapshot.rmir;
         self.cursor = snapshot.cursor;
+        self.plans.clear();
     }
 
     /// Runs the full streaming protocol over a *normalized* split,
@@ -522,6 +544,7 @@ impl ContinualTrainer {
     ) -> RunOutcome {
         self.opt = Adam::new(self.config.lr);
         self.cursor = TrainCursor::default();
+        self.plans.clear();
         self.drive(backbone, simsiam, store, net, split, data_cfg, scale, hook)
     }
 
@@ -679,6 +702,9 @@ impl ContinualTrainer {
                     self.config.batch_size,
                     self.config.ewc_fisher_batches,
                 ));
+                // Cached plans captured the *previous* anchors as
+                // constants; the new penalty needs a fresh compile.
+                self.plans.clear();
             }
 
             let (metrics, infer_per_obs) = evaluate(backbone, store, &test_windows);
@@ -727,6 +753,42 @@ impl ContinualTrainer {
             strategy: self.config.strategy.name().to_string(),
             sets,
         })
+    }
+
+    /// Records the full training-loss graph — MAE task loss (Eq. 28),
+    /// optional SSL term (Eq. 29), optional EWC penalty — onto `sess`'s
+    /// tape and returns the scalar total.
+    ///
+    /// Both execution engines call this: the interpreter re-records it
+    /// every step, the plan compiler records it once per [`PlanKey`].
+    /// A single recording function guarantees the engines see the
+    /// *identical* graph, which is what makes `URCL_PLAN=0` — and a
+    /// mixed plan/interpreter crash-resume — bitwise reproducible.
+    fn record_loss<'t>(
+        &self,
+        backbone: &dyn Backbone,
+        simsiam: Option<&StSimSiam>,
+        store: &ParamStore,
+        sess: &mut Session<'t, '_>,
+        x: Var<'t>,
+        y: Var<'t>,
+        views: Option<(Var<'t>, Option<&SupportSet>, Var<'t>, Option<&SupportSet>)>,
+    ) -> Var<'t> {
+        let pred = backbone.forward(sess, x);
+        let task_loss = pred.sub(y).abs().mean_all(); // MAE, Eq. 28
+        let mut total = match (views, simsiam) {
+            (Some((x1, s1, x2, s2)), Some(sim)) => {
+                let ssl = sim.loss_from_vars(sess, backbone, x1, s1, x2, s2);
+                task_loss.add(ssl.scale(self.config.ssl_weight))
+            }
+            _ => task_loss,
+        };
+        if self.config.strategy == Strategy::Ewc {
+            if let Some(state) = &self.ewc {
+                total = total.add(state.penalty(sess, store, self.config.ewc_lambda));
+            }
+        }
+        total
     }
 
     /// One optimisation step on a chunk of training windows.
@@ -809,39 +871,100 @@ impl ContinualTrainer {
         };
 
         // --- Forward, L_all = L_task + L_ssl (Eq. 29), backward. ---
+        //
+        // Two bitwise-identical engines run this graph. When its structure
+        // is a pure function of the batch shapes — every component except
+        // the augmentation draw is — the step replays a compiled
+        // `ExecPlan` from the shape-keyed cache (compiling on first
+        // sight). Augmented views randomize the graph per step (different
+        // perturbed supports embed as different captured constants), so
+        // they fall back to re-recording the tape, as does `URCL_PLAN=0`.
+        // RMIR's virtual updates (`rmir.rs`) and one-shot forecasting
+        // (`pipeline.rs`) always interpret: their graphs run once each.
         store.zero_grads();
-        let tape = Tape::new();
-        let mut sess = Session::new(&tape, store);
-        let x = sess.input(train_batch.x.clone());
-        let y = sess.input(train_batch.y.clone());
-        let forward_sp = urcl_trace::span("forward");
-        let pred = backbone.forward(&mut sess, x);
-        let task_loss = pred.sub(y).abs().mean_all(); // MAE, Eq. 28
-        let mut total = match (&ssl_views, simsiam) {
-            (Some((v1, v2)), Some(sim)) => {
-                let ssl = sim.loss(&mut sess, backbone, v1, v2);
-                task_loss.add(ssl.scale(self.config.ssl_weight))
+        let ssl_on = ssl_views.is_some();
+        let plannable = plan_enabled() && !(ssl_on && self.config.ablation.augmentation);
+        let loss_value = if plannable {
+            let key = PlanKey {
+                x: train_batch.x.shape().to_vec(),
+                y: train_batch.y.shape().to_vec(),
+                ssl: ssl_on,
+                ewc: self.config.strategy == Strategy::Ewc && self.ewc.is_some(),
+            };
+            if !self.plans.iter().any(|(k, _)| *k == key) {
+                let _compile_sp = urcl_trace::span("plan_compile");
+                let tape = Tape::new();
+                let mut sess = Session::new(&tape, store);
+                let x = sess.input(train_batch.x.clone());
+                let y = sess.input(train_batch.y.clone());
+                let mut input_nodes = vec![x.index(), y.index()];
+                let views = ssl_views.as_ref().map(|(v1, v2)| {
+                    let x1 = sess.input(v1.x.clone());
+                    let x2 = sess.input(v2.x.clone());
+                    input_nodes.push(x1.index());
+                    input_nodes.push(x2.index());
+                    (x1, v1.supports.as_ref(), x2, v2.supports.as_ref())
+                });
+                let total = self.record_loss(backbone, simsiam, store, &mut sess, x, y, views);
+                let binds = sess.into_bindings();
+                let plan = ExecPlan::compile(
+                    &tape,
+                    &PlanSpec {
+                        root: Some(total.index()),
+                        inputs: &input_nodes,
+                        outputs: &[],
+                        bindings: &binds,
+                    },
+                );
+                self.plans.push((key.clone(), plan));
             }
-            _ => task_loss,
-        };
-        if self.config.strategy == Strategy::Ewc {
-            if let Some(state) = &self.ewc {
-                total = total.add(state.penalty(&mut sess, store, self.config.ewc_lambda));
+            let (_, plan) = self
+                .plans
+                .iter()
+                .find(|(k, _)| *k == key)
+                .expect("plan compiled above");
+            let plan_sp = urcl_trace::span("plan_exec");
+            let mut refs: Vec<&Tensor> = vec![&train_batch.x, &train_batch.y];
+            if let Some((v1, v2)) = &ssl_views {
+                refs.push(&v1.x);
+                refs.push(&v2.x);
             }
-        }
-        let loss_value = total.value().item();
-        drop(forward_sp);
-        let grads = {
-            let _backward_sp = urcl_trace::span("backward");
-            tape.backward(total)
+            let (loss, grads) = plan.run_training(store, &refs);
+            drop(plan_sp);
+            {
+                let _optim_sp = urcl_trace::span("optim");
+                store.accumulate_grads(plan.bindings(), &grads);
+                store.clip_grad_norm(self.config.clip_norm);
+                self.opt.step(store);
+            }
+            loss.item()
+        } else {
+            let tape = Tape::new();
+            let mut sess = Session::new(&tape, store);
+            let x = sess.input(train_batch.x.clone());
+            let y = sess.input(train_batch.y.clone());
+            let views = ssl_views.as_ref().map(|(v1, v2)| {
+                let x1 = sess.input(v1.x.clone());
+                let x2 = sess.input(v2.x.clone());
+                (x1, v1.supports.as_ref(), x2, v2.supports.as_ref())
+            });
+            let forward_sp = urcl_trace::span("forward");
+            let total = self.record_loss(backbone, simsiam, store, &mut sess, x, y, views);
+            let loss_value = total.value().item();
+            drop(forward_sp);
+            let grads = {
+                let _backward_sp = urcl_trace::span("backward");
+                tape.backward(total)
+            };
+            let binds = sess.into_bindings();
+            {
+                let _optim_sp = urcl_trace::span("optim");
+                store.accumulate_grads(&binds, &grads);
+                store.clip_grad_norm(self.config.clip_norm);
+                self.opt.step(store);
+            }
+            loss_value
         };
-        let binds = sess.into_bindings();
-        {
-            let _optim_sp = urcl_trace::span("optim");
-            store.accumulate_grads(&binds, &grads);
-            store.clip_grad_norm(self.config.clip_norm);
-            self.opt.step(store);
-        }
 
         // The buffer keeps the *original* observations (Section IV-B).
         let replay_inserted = if is_urcl {
@@ -882,14 +1005,49 @@ pub fn evaluate(
     }
     let _eval_sp = urcl_trace::span("eval");
     let mut watch = Stopwatch::new();
+    // Forward-only plan cache. Chunked evaluation sees at most two batch
+    // shapes (full chunks plus one remainder), so each shape compiles
+    // once — outside the stopwatch, which times inference only.
+    let mut plans: Vec<(Vec<usize>, ExecPlan)> = Vec::new();
     for chunk in windows.chunks(32) {
         let batch = stack_samples(chunk);
-        watch.start();
-        let tape = Tape::new();
-        let mut sess = Session::new(&tape, store);
-        let x = sess.input(batch.x.clone());
-        let pred = backbone.forward(&mut sess, x).value();
-        watch.stop();
+        let pred = if plan_enabled() {
+            let shape = batch.x.shape().to_vec();
+            if !plans.iter().any(|(s, _)| *s == shape) {
+                let _compile_sp = urcl_trace::span("plan_compile");
+                let tape = Tape::new();
+                let mut sess = Session::new(&tape, store);
+                let x = sess.input(batch.x.clone());
+                let pred = backbone.forward(&mut sess, x);
+                let binds = sess.into_bindings();
+                let plan = ExecPlan::compile(
+                    &tape,
+                    &PlanSpec {
+                        root: None,
+                        inputs: &[x.index()],
+                        outputs: &[pred.index()],
+                        bindings: &binds,
+                    },
+                );
+                plans.push((shape.clone(), plan));
+            }
+            let (_, plan) = plans
+                .iter()
+                .find(|(s, _)| *s == shape)
+                .expect("plan compiled above");
+            watch.start();
+            let pred = plan.run_forward(store, &[&batch.x]).remove(0);
+            watch.stop();
+            pred
+        } else {
+            watch.start();
+            let tape = Tape::new();
+            let mut sess = Session::new(&tape, store);
+            let x = sess.input(batch.x.clone());
+            let pred = backbone.forward(&mut sess, x).value();
+            watch.stop();
+            pred
+        };
         metrics.update(&pred, &batch.y);
     }
     let per_obs = watch.total_seconds() / windows.len() as f64;

@@ -317,10 +317,17 @@ pub fn forward_batch<B: Backbone + ?Sized>(
     }
     let x = Tensor::from_vec(data, &[windows.len(), m, n, c]);
 
-    let tape = Tape::new();
-    let mut sess = Session::new(&tape, snapshot.store());
-    let xv = sess.input(x);
-    let pred = {
+    // Replay the snapshot's compiled plan for this batch shape when the
+    // plan engine is on (the default); re-record a tape otherwise. Both
+    // paths produce identical bits — pinned by the hot-swap suite.
+    let pred = if urcl_tensor::plan_enabled() {
+        let plan = snapshot.forward_plan(model, &x);
+        let _sp = urcl_trace::span("serve_forward");
+        plan.run_forward(snapshot.store(), &[&x]).remove(0) // [B, H, N]
+    } else {
+        let tape = Tape::new();
+        let mut sess = Session::new(&tape, snapshot.store());
+        let xv = sess.input(x);
         let _sp = urcl_trace::span("serve_forward");
         model.forward(&mut sess, xv).value() // [B, H, N]
     };

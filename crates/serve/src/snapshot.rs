@@ -1,8 +1,12 @@
 //! Immutable model snapshots: the unit of hot-swap.
 
+use std::sync::{Arc, Mutex};
+
 use urcl_core::persist::{copy_store_checked, Checkpoint};
+use urcl_models::Backbone;
 use urcl_stdata::Normalizer;
-use urcl_tensor::ParamStore;
+use urcl_tensor::autodiff::{Session, Tape};
+use urcl_tensor::{ExecPlan, ParamStore, PlanSpec, Tensor};
 
 use crate::server::ServeError;
 
@@ -20,6 +24,11 @@ pub struct ModelSnapshot {
     normalizer: Normalizer,
     description: String,
     generation: u64,
+    /// Forward-only [`ExecPlan`]s keyed by batched input shape, compiled
+    /// lazily and shared across every shard thread holding this snapshot.
+    /// Parameters are immutable for the snapshot's lifetime, so a plan
+    /// never goes stale; it dies with the snapshot on hot-swap.
+    plans: Mutex<Vec<(Vec<usize>, Arc<ExecPlan>)>>,
 }
 
 impl ModelSnapshot {
@@ -52,7 +61,42 @@ impl ModelSnapshot {
             normalizer,
             description: ckpt.description.clone(),
             generation,
+            plans: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Returns the forward-only plan for `x`'s shape, compiling it on
+    /// first sight (the per-shape cost every subsequent batch of that
+    /// shape amortizes away). `x` itself seeds the recording pass; only
+    /// its shape keys the cache.
+    ///
+    /// Activation-kernel selection (see
+    /// [`urcl_tensor::FastActGuard`]) happens at *replay* time on the
+    /// calling thread, exactly as the interpreter selects at record time,
+    /// so one cached plan serves fast- and exact-activation callers with
+    /// the same bits each would get from a fresh tape.
+    pub fn forward_plan<B: Backbone + ?Sized>(&self, model: &B, x: &Tensor) -> Arc<ExecPlan> {
+        let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, plan)) = plans.iter().find(|(s, _)| s == x.shape()) {
+            return Arc::clone(plan);
+        }
+        let _compile_sp = urcl_trace::span("plan_compile");
+        let tape = Tape::new();
+        let mut sess = Session::new(&tape, &self.store);
+        let xv = sess.input(x.clone());
+        let pred = model.forward(&mut sess, xv);
+        let binds = sess.into_bindings();
+        let plan = Arc::new(ExecPlan::compile(
+            &tape,
+            &PlanSpec {
+                root: None,
+                inputs: &[xv.index()],
+                outputs: &[pred.index()],
+                bindings: &binds,
+            },
+        ));
+        plans.push((x.shape().to_vec(), Arc::clone(&plan)));
+        plan
     }
 
     /// The trained parameters this snapshot serves with.

@@ -125,7 +125,7 @@ pub enum Op {
 
 /// Profile index of an op kind (aligned with [`crate::opprof::OP_NAMES`]);
 /// `None` for pure tape bookkeeping nodes.
-fn kind_index(op: &Op) -> Option<usize> {
+pub(crate) fn kind_index(op: &Op) -> Option<usize> {
     Some(match op {
         Op::Leaf | Op::Constant => return None,
         Op::Add(..) => 0,
@@ -158,15 +158,15 @@ fn kind_index(op: &Op) -> Option<usize> {
     })
 }
 
-struct Node {
-    value: Tensor,
-    op: Op,
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) op: Op,
 }
 
 /// The autodiff tape. Create one per training step; parameters are bound to
 /// it through [`Session`].
 pub struct Tape {
-    nodes: RefCell<Vec<Node>>,
+    pub(crate) nodes: RefCell<Vec<Node>>,
 }
 
 impl Default for Tape {
@@ -550,7 +550,7 @@ impl Tape {
     }
 }
 
-fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor) {
+pub(crate) fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor) {
     match &mut grads[idx] {
         Some(existing) => existing.add_assign(&g),
         slot @ None => *slot = Some(g),
@@ -560,7 +560,7 @@ fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor) {
 /// Like [`accumulate`] but borrows the gradient, cloning only when the
 /// slot is empty. Lets rules that propagate `g` unchanged to several
 /// inputs skip one full-tensor copy per edge with an occupied slot.
-fn accumulate_ref(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor) {
+pub(crate) fn accumulate_ref(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor) {
     match &mut grads[idx] {
         Some(existing) => existing.add_assign(g),
         slot @ None => *slot = Some(g.clone()),
@@ -620,7 +620,7 @@ fn fused_apply(
 }
 
 /// `grads[idx] (+)= f(g)` elementwise (same-shape inputs only).
-fn fused_map1(
+pub(crate) fn fused_map1(
     grads: &mut [Option<Tensor>],
     idx: usize,
     g: &Tensor,
@@ -631,7 +631,7 @@ fn fused_map1(
 }
 
 /// `grads[idx] (+)= f(g, x)` elementwise (same-shape inputs only).
-fn fused_map2(
+pub(crate) fn fused_map2(
     grads: &mut [Option<Tensor>],
     idx: usize,
     g: &Tensor,
@@ -645,7 +645,7 @@ fn fused_map2(
 }
 
 /// `grads[idx] (+)= f(g, a, b)` elementwise (same-shape inputs only).
-fn fused_map3(
+pub(crate) fn fused_map3(
     grads: &mut [Option<Tensor>],
     idx: usize,
     g: &Tensor,
@@ -668,7 +668,7 @@ fn fused_map3(
 /// all three paths are bitwise identical. With the fast kernels disabled
 /// (`URCL_SIMD=0`) this routes through [`fused_map2`] so the disabled path
 /// stays byte-for-byte the seed code path.
-fn fused_mul_acc(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor, x: &Tensor) {
+pub(crate) fn fused_mul_acc(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor, x: &Tensor) {
     if !crate::simd::fast_kernels() {
         return fused_map2(grads, idx, g, x, |gv, xv| gv * xv);
     }
@@ -705,7 +705,7 @@ fn fused_mul_acc(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor, x: &Tenso
 /// `grads[idx] (+)= g * c` elementwise through the SIMD seam
 /// ([`crate::simd::scale_acc`]); same bitwise-parity contract as
 /// [`fused_mul_acc`], with [`fused_map1`] as the `URCL_SIMD=0` route.
-fn fused_scale_acc(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor, c: f32) {
+pub(crate) fn fused_scale_acc(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor, c: f32) {
     if !crate::simd::fast_kernels() {
         return fused_map1(grads, idx, g, move |gv| gv * c);
     }
@@ -739,7 +739,13 @@ fn fused_scale_acc(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor, c: f32)
 
 /// Embeds a gradient of the narrowed slice back into a zero tensor of the
 /// input's shape.
-fn narrow_scatter(g: &Tensor, in_shape: &[usize], axis: usize, start: usize, len: usize) -> Tensor {
+pub(crate) fn narrow_scatter(
+    g: &Tensor,
+    in_shape: &[usize],
+    axis: usize,
+    start: usize,
+    len: usize,
+) -> Tensor {
     let mut out = Tensor::zeros(in_shape);
     let outer: usize = in_shape[..axis].iter().product();
     let inner: usize = in_shape[axis + 1..].iter().product();
@@ -768,15 +774,29 @@ fn conv1d_backward(
     dilation: usize,
     pad_left: usize,
 ) -> (Tensor, Tensor) {
+    let dx = conv1d_backward_dx(g, x.shape(), w, dilation, pad_left);
+    let dw = conv1d_backward_dw(g, x, w.shape(), dilation, pad_left);
+    (dx, dw)
+}
+
+/// Input gradient of a dilated causal 1-D convolution. Only the *shape*
+/// of `x` is needed (the data gradient never reads the input values), so
+/// callers that skip the weight gradient — the plan executor's
+/// dead-gradient elimination — can drop the input tensor early.
+pub(crate) fn conv1d_backward_dx(
+    g: &Tensor,
+    x_shape: &[usize],
+    w: &Tensor,
+    dilation: usize,
+    pad_left: usize,
+) -> Tensor {
     use crate::parallel::{parallel_for, SendPtr, PAR_MIN_FLOPS};
 
-    let (b, cin, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (b, cin, t) = (x_shape[0], x_shape[1], x_shape[2]);
     let (cout, _, k) = (w.shape()[0], w.shape()[1], w.shape()[2]);
     let t_out = g.shape()[2];
-    let mut dx = Tensor::zeros(x.shape());
-    let mut dw = Tensor::zeros(w.shape());
+    let mut dx = Tensor::zeros(x_shape);
     let gd = g.data();
-    let xd = x.data();
     let wd = w.data();
     // Valid to-range for tap ki: j = to + ki*dilation - pad_left in [0, t).
     let to_range = |shift: usize| -> (usize, usize) {
@@ -895,6 +915,35 @@ fn conv1d_backward(
             });
         }
     }
+    dx
+}
+
+/// Weight gradient of a dilated causal 1-D convolution. Only the *shape*
+/// of `w` is needed, so callers that skip the input gradient can drop the
+/// weight tensor early.
+pub(crate) fn conv1d_backward_dw(
+    g: &Tensor,
+    x: &Tensor,
+    w_shape: &[usize],
+    dilation: usize,
+    pad_left: usize,
+) -> Tensor {
+    use crate::parallel::{parallel_for, SendPtr, PAR_MIN_FLOPS};
+
+    let (b, cin, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (cout, k) = (w_shape[0], w_shape[2]);
+    let t_out = g.shape()[2];
+    let mut dw = Tensor::zeros(w_shape);
+    let gd = g.data();
+    let xd = x.data();
+    let to_range = |shift: usize| -> (usize, usize) {
+        (
+            pad_left.saturating_sub(shift),
+            t_out.min((t + pad_left).saturating_sub(shift)),
+        )
+    };
+    let flops = b * cout * cin * k * t_out;
+
     // dw via per-batch `g_bi @ im2col(x_bi)^T` GEMMs. Unlike dx, the
     // direct dw loop does NOT keep one flat running sum per element — it
     // accumulates a register dot product per (bi, ki) and adds those
@@ -1002,7 +1051,138 @@ fn conv1d_backward(
             });
         }
     }
-    (dx, dw)
+    dw
+}
+
+/// Builds the transposed per-batch im2col panel used by the dw GEMM
+/// lowering: `cols[bi*t_out*kk + to*kk + ci*k + ki] =
+/// x[bi, ci, to + ki*dilation - pad_left]` (zero where the tap is
+/// clamped), with `kk = cin*k`. Like the forward panel, it depends only
+/// on the input values and the conv geometry — not on `g` — so sibling
+/// convolutions sharing an input (a gated TCN's filter/gate pair) can
+/// build it once and reuse it for both weight gradients.
+pub(crate) fn conv1d_dw_cols(
+    x: &Tensor,
+    k: usize,
+    dilation: usize,
+    pad_left: usize,
+    t_out: usize,
+) -> crate::pool::Buffer {
+    use crate::parallel::{parallel_for, SendPtr, PAR_MIN_ELEMS};
+    use crate::pool;
+
+    let (b, cin, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let kk = cin * k;
+    let xd = x.data();
+    // With no left padding every panel slot is written below (to_lo is 0
+    // and to_hi is t_out for every tap), so the zero-fill is pure waste;
+    // padded convs keep it for the clamped slots.
+    let mut cols = if pad_left == 0 {
+        pool::take_uninit(b * t_out * kk)
+    } else {
+        pool::take_zeroed(b * t_out * kk)
+    };
+    let cols_ptr = SendPtr(cols.as_mut_ptr());
+    let bi_item = |bi: usize| {
+        // SAFETY: item bi owns cols[bi*t_out*kk ..][..t_out*kk].
+        let panel = unsafe { cols_ptr.slice(bi * t_out * kk, t_out * kk) };
+        for ci in 0..cin {
+            for ki in 0..k {
+                let shift = ki * dilation;
+                let to_lo = pad_left.saturating_sub(shift);
+                let to_hi = t_out.min((t + pad_left).saturating_sub(shift));
+                if to_lo >= to_hi {
+                    continue;
+                }
+                let x_base = (bi * cin + ci) * t + to_lo + shift - pad_left;
+                for to in to_lo..to_hi {
+                    panel[to * kk + ci * k + ki] = xd[x_base + (to - to_lo)];
+                }
+            }
+        }
+    };
+    // Serial when small — or when requested threads exceed the physical
+    // cores, where dispatch is pure overhead (bitwise identical either
+    // way: items only partition the panel).
+    let par_ok = crate::parallel::num_threads() > 1 && crate::parallel::host_parallelism() > 1;
+    if b * t_out * kk < PAR_MIN_ELEMS || !par_ok {
+        for bi in 0..b {
+            bi_item(bi);
+        }
+    } else {
+        parallel_for(b, 1, |r| {
+            for bi in r {
+                bi_item(bi);
+            }
+        });
+    }
+    cols
+}
+
+/// Weight gradient of a dilated causal 1-D convolution from a prebuilt
+/// [`conv1d_dw_cols`] panel. Bitwise identical to the GEMM branch of
+/// [`conv1d_backward_dw`] (same per-batch GEMMs over the same panel
+/// values, same bi-ordered serial accumulate); callers must check the
+/// same `pooling_enabled() && t_out < NR` guard that selects that
+/// branch before using this path.
+pub(crate) fn conv1d_backward_dw_with_cols(
+    g: &Tensor,
+    x_shape: &[usize],
+    w_shape: &[usize],
+    cols: &[f32],
+) -> Tensor {
+    use crate::parallel::{parallel_for, SendPtr, PAR_MIN_FLOPS};
+    use crate::pool;
+
+    let (b, cin) = (x_shape[0], x_shape[1]);
+    let (cout, k) = (w_shape[0], w_shape[2]);
+    let t_out = g.shape()[2];
+    let kk = cin * k;
+    let mut dw = Tensor::zeros(w_shape);
+    let gd = g.data();
+    let flops = b * cout * cin * k * t_out;
+    let mut partials = pool::take_uninit(b * cout * kk);
+    {
+        let part_ptr = SendPtr(partials.as_mut_ptr());
+        let bi_item = |bi: usize| {
+            let colsxt = &cols[bi * t_out * kk..][..t_out * kk];
+            // SAFETY: item bi owns partials[bi*cout*kk ..][..cout*kk].
+            let o = unsafe { part_ptr.slice(bi * cout * kk, cout * kk) };
+            crate::gemm::gemm_strided(
+                cout,
+                t_out,
+                kk,
+                &gd[bi * cout * t_out..],
+                t_out,
+                1,
+                colsxt,
+                kk,
+                1,
+                o,
+            );
+        };
+        if flops < PAR_MIN_FLOPS {
+            for bi in 0..b {
+                bi_item(bi);
+            }
+        } else {
+            parallel_for(b, 1, |r| {
+                for bi in r {
+                    bi_item(bi);
+                }
+            });
+        }
+    }
+    // Same bi-ordered flat-zip accumulate as `conv1d_backward_dw`.
+    let dwd = dw.data_mut();
+    for bi in 0..b {
+        let part = &partials[bi * cout * kk..][..cout * kk];
+        for (slot, &p) in dwd.iter_mut().zip(part) {
+            *slot += p;
+        }
+    }
+    pool::recycle(partials);
+    dw
 }
 
 /// Per-node gradients produced by [`Tape::backward`].
@@ -1011,6 +1191,12 @@ pub struct Gradients {
 }
 
 impl Gradients {
+    /// Wraps a raw per-node gradient vector (used by the plan executor,
+    /// whose backward pass produces the same indexed layout).
+    pub(crate) fn from_raw(grads: Vec<Option<Tensor>>) -> Self {
+        Gradients { grads }
+    }
+
     /// Gradient of the loss w.r.t. `v`, if any path reached it.
     pub fn get(&self, v: Var<'_>) -> Option<&Tensor> {
         self.grads.get(v.idx).and_then(|g| g.as_ref())

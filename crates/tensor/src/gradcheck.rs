@@ -3,8 +3,18 @@
 //! Every backward rule in [`crate::autodiff`] is validated against central
 //! finite differences. The checker rebuilds the computation twice per
 //! probed coordinate, which is slow but only runs in tests.
+//!
+//! When the plan engine is on (the default, see
+//! [`crate::plan::plan_enabled`]), the harness is also a plan-parity
+//! check: the analytic gradient is replayed through a compiled training
+//! [`crate::plan::ExecPlan`] and asserted **bitwise**
+//! equal to the interpreter's, and every finite-difference probe replays a
+//! forward-only plan instead of re-recording a tape. With `URCL_PLAN=0`
+//! the whole check runs on the seed-era interpreter path.
 
 use crate::autodiff::{Tape, Var};
+use crate::params::ParamStore;
+use crate::plan::{plan_enabled, ExecPlan, PlanSpec};
 use crate::tensor::Tensor;
 
 /// Result of a gradient check: the largest absolute and relative deviation
@@ -33,25 +43,72 @@ impl GradCheck {
 ///
 /// `build` receives a fresh tape plus `x` as a leaf and must return a
 /// scalar-shaped loss variable; the checker compares the tape gradient
-/// against central differences with step `eps` at every coordinate.
+/// against central differences with step `eps` at every coordinate. With
+/// the plan engine on, the recorded tape is additionally compiled into a
+/// training plan (analytic gradient asserted bitwise equal to the
+/// interpreter's) and a forward-only plan that serves the FD probes.
 pub fn check_scalar<F>(x: &Tensor, eps: f32, build: F) -> GradCheck
 where
     F: for<'t> Fn(&'t Tape, Var<'t>) -> Var<'t> + Copy,
 {
-    let analytic = {
-        let tape = Tape::new();
-        let v = tape.leaf(x.clone());
-        let loss = build(&tape, v);
-        let grads = tape.backward(loss);
-        grads
-            .get(v)
+    let store = ParamStore::new();
+    let tape = Tape::new();
+    let v = tape.leaf(x.clone());
+    let loss = build(&tape, v);
+    let analytic = tape
+        .backward(loss)
+        .get(v)
+        .cloned()
+        .unwrap_or_else(|| Tensor::zeros(x.shape()));
+
+    let fwd_plan = plan_enabled().then(|| {
+        let spec_inputs = [v.index()];
+        let train = ExecPlan::compile(
+            &tape,
+            &PlanSpec {
+                root: Some(loss.index()),
+                inputs: &spec_inputs,
+                outputs: &[],
+                bindings: &[],
+            },
+        );
+        let (l, grads) = train.run_training(&store, &[x]);
+        assert_eq!(
+            l.item().to_bits(),
+            tape.value(loss).item().to_bits(),
+            "gradcheck: plan loss diverged from interpreter"
+        );
+        let plan_g = grads
+            .by_index(v.index())
             .cloned()
-            .unwrap_or_else(|| Tensor::zeros(x.shape()))
-    };
+            .unwrap_or_else(|| Tensor::zeros(x.shape()));
+        for (i, (a, p)) in analytic.data().iter().zip(plan_g.data()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                p.to_bits(),
+                "gradcheck: plan analytic grad diverged at coord {i}: {a:?} vs {p:?}"
+            );
+        }
+        ExecPlan::compile(
+            &tape,
+            &PlanSpec {
+                root: None,
+                inputs: &spec_inputs,
+                outputs: &[loss.index()],
+                bindings: &[],
+            },
+        )
+    });
+
     let eval = |xt: &Tensor| -> f32 {
-        let tape = Tape::new();
-        let v = tape.leaf(xt.clone());
-        build(&tape, v).value().item()
+        match &fwd_plan {
+            Some(plan) => plan.run_forward(&store, &[xt])[0].item(),
+            None => {
+                let tape = Tape::new();
+                let v = tape.leaf(xt.clone());
+                build(&tape, v).value().item()
+            }
+        }
     };
     let mut max_abs: f32 = 0.0;
     let mut max_rel: f32 = 0.0;

@@ -43,6 +43,7 @@ pub mod opprof;
 pub mod optim;
 pub mod parallel;
 pub mod params;
+pub mod plan;
 pub mod pool;
 pub mod rng;
 pub mod shape;
@@ -58,8 +59,10 @@ pub use parallel::{
     PoolStats,
 };
 pub use pool::{
-    buffer_pool_stats, pooling_enabled, reset_buffer_pool_stats, set_pooling, BufferPoolStats,
+    buffer_pool_stats, pool_poison_enabled, pooling_enabled, reset_buffer_pool_stats, set_pool_poison,
+    set_pooling, BufferPoolStats,
 };
+pub use plan::{plan_enabled, plan_stats, reset_plan_stats, set_plan, ExecPlan, PlanSpec, PlanStats};
 pub use simd::{active_isa, detected_isa, set_simd, simd_enabled, Isa};
 pub use params::{ParamId, ParamStore};
 pub use rng::Rng;

@@ -323,6 +323,33 @@ pub fn set_pooling(on: bool) -> bool {
     prev
 }
 
+/// Poison state: 0 = off (default), 1 = on. Test-only; no env var.
+static POISON: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether NaN-poisoning of pool hand-outs and returns is active.
+#[inline]
+pub fn pool_poison_enabled() -> bool {
+    POISON.load(Ordering::Relaxed) == 1
+}
+
+/// Turns NaN-poisoning on or off, returning the previous setting.
+///
+/// With poisoning on, every buffer is filled with NaN at two points:
+/// when it is handed out *without* a zero request ([`take_uninit`]),
+/// and when it is returned via [`recycle`]. Both a kernel that reads a
+/// slot of a `take_uninit` buffer before writing it and any code that
+/// keeps reading a buffer after its owner released it then observe NaN
+/// instead of stale-but-plausible floats, so alias/lifetime bugs in
+/// buffer-reuse schedules (notably the plan compiler's precomputed drop
+/// points and shared im2col panels) surface as NaN in outputs rather
+/// than silently correct-looking numbers. Intended for property tests;
+/// leave off in normal runs — the extra fills cost bandwidth.
+pub fn set_pool_poison(on: bool) -> bool {
+    let prev = pool_poison_enabled();
+    POISON.store(if on { 1 } else { 0 }, Ordering::Relaxed);
+    prev
+}
+
 /// Cumulative buffer-pool statistics since process start (or the last
 /// [`reset_buffer_pool_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -405,7 +432,11 @@ fn take(len: usize, zero: bool) -> Buffer {
     }
     if !pooling_enabled() {
         // Seed-era behaviour: a plain zeroed Vec allocation per request.
-        return Buffer::from_vec(vec![0.0; len]);
+        let mut b = Buffer::from_vec(vec![0.0; len]);
+        if !zero && pool_poison_enabled() {
+            b.fill(f32::NAN);
+        }
+        return b;
     }
     let recycled = FREE.with(|f| {
         f.borrow_mut()
@@ -413,7 +444,7 @@ fn take(len: usize, zero: bool) -> Buffer {
             .and_then(|bucket| bucket.pop())
     });
     note_live(len);
-    match recycled {
+    let mut b = match recycled {
         Some(mut b) => {
             HITS.fetch_add(1, Ordering::Relaxed);
             debug_assert_eq!(b.len(), len, "pool bucket holds wrong-length buffer");
@@ -426,16 +457,25 @@ fn take(len: usize, zero: bool) -> Buffer {
             MISSES.fetch_add(1, Ordering::Relaxed);
             Buffer::zeroed_aligned(len)
         }
+    };
+    if !zero && pool_poison_enabled() {
+        b.fill(f32::NAN);
     }
+    b
 }
 
 /// Returns a buffer to the current thread's free list for reuse by a
 /// later same-length [`take_uninit`]/[`take_zeroed`]. Empty buffers and
 /// buffers recycled while pooling is off are simply dropped.
-pub fn recycle(b: Buffer) {
+pub fn recycle(mut b: Buffer) {
     let len = b.len();
     if len == 0 || !pooling_enabled() {
         return;
+    }
+    if pool_poison_enabled() {
+        // Make any read-after-release visible as NaN rather than stale
+        // (often still-plausible) values.
+        b.fill(f32::NAN);
     }
     BYTES_RECYCLED.fetch_add(4 * len as u64, Ordering::Relaxed);
     // Saturating: a buffer taken before a counter reset (or while pooling

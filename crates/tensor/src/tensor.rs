@@ -898,8 +898,26 @@ impl Tensor {
         t_out: usize,
         out: &mut [f32],
     ) {
+        let k = weight.shape[2];
+        let cols = self.conv1d_cols(k, dilation, pad_left, t_out);
+        Tensor::conv1d_apply_cols(weight, &cols, self.shape[0], t_out, None, out);
+        pool::recycle(cols);
+    }
+
+    /// Builds the pooled `[cin*k, b*t_out]` im2col column panel for the
+    /// GEMM lowering (taps ordered `(ci, ki)`, padding slots zero). The
+    /// panel depends only on the input data and the conv geometry — not
+    /// the weights — so sibling convolutions sharing an input (a gated
+    /// TCN's filter/gate pair) can build it once; the compiled-plan
+    /// executor exploits exactly that.
+    pub(crate) fn conv1d_cols(
+        &self,
+        k: usize,
+        dilation: usize,
+        pad_left: usize,
+        t_out: usize,
+    ) -> pool::Buffer {
         let (b, cin, t) = (self.shape[0], self.shape[1], self.shape[2]);
-        let (cout, _, k) = (weight.shape[0], weight.shape[1], weight.shape[2]);
         let kk = cin * k;
         let cols_n = b * t_out;
         let mut cols = pool::take_zeroed(kk * cols_n);
@@ -919,7 +937,29 @@ impl Tensor {
                 }
             }
         }
+        cols
+    }
 
+    /// The GEMM + scatter half of the im2col lowering: computes
+    /// `weight[cout, cin*k] @ cols` and scatters the `[co, (bi, to)]`
+    /// result rows back into `out`'s `[bi, co, to]` layout — adding
+    /// `bias[co]` per channel during the scatter when `bias` is set
+    /// (bitwise identical to a separate `[1, C, 1]` broadcast add).
+    /// Bitwise identical to [`Self::conv1d`]'s direct kernel under the
+    /// caller's `cin*k <= KC` guard (see [`Self::conv1d_im2col`]).
+    /// Writes every slot of `out`, so callers may pass uninitialised
+    /// buffers.
+    pub(crate) fn conv1d_apply_cols(
+        weight: &Tensor,
+        cols: &[f32],
+        b: usize,
+        t_out: usize,
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+    ) {
+        let (cout, cin, k) = (weight.shape[0], weight.shape[1], weight.shape[2]);
+        let kk = cin * k;
+        let cols_n = b * t_out;
         let mut tmp = pool::take_uninit(cout * cols_n);
         let wd = weight.data();
         let flops = cout * kk * cols_n;
@@ -942,14 +982,29 @@ impl Tensor {
                 }
             });
         }
-        for bi in 0..b {
-            for co in 0..cout {
-                let src = &tmp[co * cols_n + bi * t_out..][..t_out];
-                out[(bi * cout + co) * t_out..][..t_out].copy_from_slice(src);
+        match bias {
+            None => {
+                for bi in 0..b {
+                    for co in 0..cout {
+                        let src = &tmp[co * cols_n + bi * t_out..][..t_out];
+                        out[(bi * cout + co) * t_out..][..t_out].copy_from_slice(src);
+                    }
+                }
+            }
+            Some(bd) => {
+                for bi in 0..b {
+                    for co in 0..cout {
+                        let src = &tmp[co * cols_n + bi * t_out..][..t_out];
+                        let dst = &mut out[(bi * cout + co) * t_out..][..t_out];
+                        let bv = bd[co];
+                        for (o, &s) in dst.iter_mut().zip(src) {
+                            *o = s + bv;
+                        }
+                    }
+                }
             }
         }
         pool::recycle(tmp);
-        pool::recycle(cols);
     }
 
     /// Naive serial conv1d kept as the correctness reference for the

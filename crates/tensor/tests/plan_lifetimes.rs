@@ -1,0 +1,306 @@
+//! NaN-poisoning property tests for the plan's buffer-lifetime schedule.
+//!
+//! A compiled [`ExecPlan`] precomputes where every intermediate buffer
+//! dies: drop points release values back to the pool mid-replay, reshape/
+//! detach steal dying inputs' buffers, and shared conv im2col panels are
+//! recycled at the last conv of their group. A bug anywhere in that
+//! schedule — releasing a buffer an op still reads, or reading a
+//! `take_uninit` slot before writing it — would usually go unnoticed,
+//! because the recycled memory still holds plausible stale floats.
+//!
+//! [`set_pool_poison`] closes that gap: with poisoning on, the pool fills
+//! every non-zeroed hand-out *and* every returned buffer with NaN, so any
+//! read of dropped or uninitialized pool memory propagates NaN into the
+//! results. The property tested here over randomly generated op graphs
+//! (xoshiro-seeded opcode tapes) and gated-conv share groups:
+//!
+//! 1. plan replays under poisoning are bitwise identical to the
+//!    poison-off interpreter reference, and
+//! 2. no NaN appears in any loss, output, gradient, or updated parameter.
+//!
+//! The interpreter itself also runs under poisoning as a kernel-contract
+//! check (every `take_uninit` consumer must fully overwrite its buffer).
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use urcl_tensor::autodiff::{Session, Tape, Var};
+use urcl_tensor::{
+    set_pool_poison, set_pooling, set_simd, set_threads, Adam, ExecPlan, Optimizer, ParamId,
+    ParamStore, PlanSpec, Rng, Tensor,
+};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+const STEPS: usize = 3;
+
+/// One engine run's results as raw bits, in a fixed order.
+fn bits_of(out: &mut Vec<u32>, t: &Tensor) {
+    out.extend(t.data().iter().map(|v| v.to_bits()));
+}
+
+/// Interprets a pre-generated opcode tape into a graph of `[b, d]`
+/// intermediates. Every opcode yields a new var; operands are picked from
+/// earlier vars (so refcounts vary), and unpicked vars become dead code
+/// the plan must skip without disturbing live buffers. Returns
+/// `(scalar loss, last intermediate)`.
+fn build_random<'t, 's>(
+    sess: &mut Session<'t, 's>,
+    params: &[ParamId],
+    xs: &[Var<'t>],
+    meta: &[usize],
+) -> (Var<'t>, Var<'t>) {
+    let x = xs[0]; // [b, d]
+    let sh = x.shape();
+    let (b, d) = (sh[0], sh[1]);
+    let mut vars: Vec<Var<'t>> = vec![x];
+    for chunk in meta.chunks_exact(3) {
+        let (code, p1, p2) = (chunk[0], chunk[1], chunk[2]);
+        let a = vars[p1 % vars.len()];
+        let c = vars[p2 % vars.len()];
+        let v = match code % 10 {
+            0 => a.tanh().scale(0.5).add_scalar(0.1),
+            1 => a.sigmoid().mul(c.relu()),
+            2 => a.add(c),
+            3 => a.sub(c).leaky_relu(0.1),
+            4 => a.div(c.abs().add_scalar(1.0)),
+            5 => a.matmul(sess.param(params[p2 % params.len()])),
+            6 => a.reshape(&[b * d]).exp().scale(0.25).reshape(&[b, d]),
+            7 => a.permute(&[1, 0]).permute(&[1, 0]).add_scalar(0.01),
+            8 => {
+                if b >= 2 {
+                    let half = b / 2;
+                    sess.tape()
+                        .concat(&[a.narrow(0, 0, half), a.narrow(0, half, b - half)], 0)
+                } else {
+                    a.softmax(1)
+                }
+            }
+            _ => a.detach().mul(c.softmax(1)),
+        };
+        vars.push(v);
+    }
+    let mut loss = vars[vars.len() - 1].mean_all();
+    for v in vars.iter().rev().skip(1).take(2) {
+        loss = loss.add(v.mean_all());
+    }
+    (loss, *vars.last().unwrap())
+}
+
+/// The GatedTcn share-group pattern: panel reuse + ConvBias fusion give
+/// the plan extra manually-managed buffer lifetimes (forward and dw
+/// panels) that poisoning must also clear.
+fn build_gated_conv<'t, 's>(
+    sess: &mut Session<'t, 's>,
+    params: &[ParamId],
+    xs: &[Var<'t>],
+    meta: &[usize],
+) -> (Var<'t>, Var<'t>) {
+    let x = xs[0]; // [b, cin, t]
+    let (dilation, pad_left) = (meta[0], meta[1]);
+    let cout = sess.param(params[0]).shape()[0];
+    let f = x
+        .conv1d(sess.param(params[0]), dilation, pad_left)
+        .add(sess.param(params[1]).reshape(&[1, cout, 1]))
+        .tanh();
+    let g = x
+        .conv1d(sess.param(params[2]), dilation, pad_left)
+        .add(sess.param(params[3]).reshape(&[1, cout, 1]))
+        .sigmoid();
+    let y = f.mul(g);
+    (y.abs().mean_all(), y)
+}
+
+type Build =
+    for<'t, 's> fn(&mut Session<'t, 's>, &[ParamId], &[Var<'t>], &[usize]) -> (Var<'t>, Var<'t>);
+
+/// Trains for [`STEPS`] steps and returns every observable as one flat
+/// bit vector: per-step losses and aux outputs, final grads, final params.
+fn run_engine(
+    build: Build,
+    store0: &ParamStore,
+    params: &[ParamId],
+    step_inputs: &[Tensor],
+    meta: &[usize],
+    use_plan: bool,
+) -> Vec<u32> {
+    let mut store = store0.clone();
+    let mut opt = Adam::new(1e-3);
+    let mut out = Vec::new();
+
+    let compiled = if use_plan {
+        let tape = Tape::new();
+        let mut sess = Session::new(&tape, &store);
+        let x = sess.input(step_inputs[0].clone());
+        let (loss, aux) = build(&mut sess, params, &[x], meta);
+        let binds = sess.into_bindings();
+        let train = ExecPlan::compile(
+            &tape,
+            &PlanSpec {
+                root: Some(loss.index()),
+                inputs: &[x.index()],
+                outputs: &[],
+                bindings: &binds,
+            },
+        );
+        let fwd = ExecPlan::compile(
+            &tape,
+            &PlanSpec {
+                root: None,
+                inputs: &[x.index()],
+                outputs: &[aux.index()],
+                bindings: &binds,
+            },
+        );
+        Some((train, fwd))
+    } else {
+        None
+    };
+
+    for input in step_inputs {
+        match &compiled {
+            Some((train, fwd)) => {
+                bits_of(&mut out, &fwd.run_forward(&store, &[input])[0]);
+                store.zero_grads();
+                let (l, grads) = train.run_training(&store, &[input]);
+                store.accumulate_grads(train.bindings(), &grads);
+                out.push(l.item().to_bits());
+            }
+            None => {
+                let tape = Tape::new();
+                let mut sess = Session::new(&tape, &store);
+                let x = sess.input(input.clone());
+                let (loss, aux) = build(&mut sess, params, &[x], meta);
+                bits_of(&mut out, &tape.value(aux));
+                let grads = tape.backward(loss);
+                let binds = sess.into_bindings();
+                store.zero_grads();
+                store.accumulate_grads(&binds, &grads);
+                out.push(tape.value(loss).item().to_bits());
+            }
+        }
+        opt.step(&mut store);
+    }
+    for &id in params {
+        bits_of(&mut out, store.grad(id));
+        bits_of(&mut out, store.value(id));
+    }
+    out
+}
+
+/// Asserts bitwise equality against the reference and that no NaN leaked
+/// into any observable.
+fn check_poisoned(label: &str, reference: &[u32], poisoned: &[u32]) {
+    assert_eq!(reference.len(), poisoned.len(), "{label}: observable count");
+    for (i, (r, p)) in reference.iter().zip(poisoned).enumerate() {
+        let pv = f32::from_bits(*p);
+        assert!(
+            !pv.is_nan(),
+            "{label}: observable {i} is NaN — a buffer was read after release \
+             or before initialization"
+        );
+        assert_eq!(r, p, "{label}: observable {i} diverged under poisoning: {:?} vs {pv:?}",
+            f32::from_bits(*r));
+    }
+}
+
+fn run_case(
+    label: &str,
+    build: Build,
+    store: &ParamStore,
+    params: &[ParamId],
+    step_inputs: &[Tensor],
+    meta: &[usize],
+) {
+    for threads in [1usize, 4] {
+        let prev_threads = set_threads(threads);
+        let reference = run_engine(build, store, params, step_inputs, meta, false);
+        let prev_poison = set_pool_poison(true);
+        let plan = run_engine(build, store, params, step_inputs, meta, true);
+        let interp = run_engine(build, store, params, step_inputs, meta, false);
+        set_pool_poison(prev_poison);
+        set_threads(prev_threads);
+        check_poisoned(&format!("{label} plan {threads}t"), &reference, &plan);
+        check_poisoned(&format!("{label} interp {threads}t"), &reference, &interp);
+    }
+}
+
+#[test]
+fn random_graphs_survive_pool_poisoning() {
+    let _guard = lock();
+    let prev_pool = set_pooling(true);
+    let prev_simd = set_simd(true);
+    let mut rng = Rng::seed_from_u64(0x11FE_7135);
+
+    for case in 0..8 {
+        let b = 1 + (rng.next_u64() % 5) as usize;
+        let d = 1 + (rng.next_u64() % 6) as usize;
+        let n_ops = 4 + (rng.next_u64() % 9) as usize;
+        let meta: Vec<usize> = (0..3 * n_ops).map(|_| rng.next_u64() as usize).collect();
+        let mut store = ParamStore::new();
+        let params: Vec<ParamId> = (0..2)
+            .map(|i| store.add(format!("w{i}"), rng.uniform_tensor(&[d, d], -0.8, 0.8)))
+            .collect();
+        let step_inputs: Vec<Tensor> = (0..STEPS)
+            .map(|_| rng.uniform_tensor(&[b, d], -1.0, 1.0))
+            .collect();
+        run_case(
+            &format!("random case {case} b{b} d{d} ops{n_ops}"),
+            build_random,
+            &store,
+            &params,
+            &step_inputs,
+            &meta,
+        );
+    }
+
+    set_simd(prev_simd);
+    set_pooling(prev_pool);
+}
+
+#[test]
+fn conv_share_group_panels_survive_pool_poisoning() {
+    let _guard = lock();
+    let prev_pool = set_pooling(true);
+    let prev_simd = set_simd(true);
+    let mut rng = Rng::seed_from_u64(0x11FE_7136);
+
+    // (b, cin, t, cout, k, dilation, pad_left): guard-passing causal and
+    // zero-pad shapes plus a guard-failing wide t_out fallback.
+    for (b, cin, t, cout, k, dilation, pad_left) in [
+        (3, 4, 10, 5, 2, 1, 1),
+        (2, 3, 9, 4, 3, 2, 4),
+        (2, 3, 8, 4, 2, 1, 0),
+        (2, 3, 40, 4, 2, 1, 1),
+    ] {
+        let mut store = ParamStore::new();
+        let params = vec![
+            store.add("wf", rng.uniform_tensor(&[cout, cin, k], -0.7, 0.7)),
+            store.add("bf", rng.uniform_tensor(&[cout], -0.3, 0.3)),
+            store.add("wg", rng.uniform_tensor(&[cout, cin, k], -0.7, 0.7)),
+            store.add("bg", rng.uniform_tensor(&[cout], -0.3, 0.3)),
+        ];
+        let step_inputs: Vec<Tensor> = (0..STEPS)
+            .map(|_| rng.uniform_tensor(&[b, cin, t], -1.0, 1.0))
+            .collect();
+        run_case(
+            &format!("gated conv b{b} c{cin}x{cout} t{t} k{k}d{dilation}p{pad_left}"),
+            build_gated_conv,
+            &store,
+            &params,
+            &step_inputs,
+            &meta_of(dilation, pad_left),
+        );
+    }
+
+    set_simd(prev_simd);
+    set_pooling(prev_pool);
+}
+
+fn meta_of(dilation: usize, pad_left: usize) -> Vec<usize> {
+    vec![dilation, pad_left]
+}

@@ -16,7 +16,8 @@
 //!   `pool_hit`, `pool_miss`, `pool_bytes_recycled`,
 //!   `pool_peak_resident_f32`, and the parallel-region shape counters
 //!   `par_items` / `par_wait_ns`, along with the top-level `host_threads`
-//!   and `simd_isa` gauges) as a schema-stable `urcl-json` value.
+//!   and `simd_isa` gauges, plus the plan-engine counters under `plan`)
+//!   as a schema-stable `urcl-json` value.
 //!
 //! Tracing is globally off by default. Every entry point checks a single
 //! relaxed atomic first, so the disabled cost is one load + branch — small
@@ -122,12 +123,13 @@ pub(crate) fn with_state<T>(f: impl FnOnce(&mut TraceState) -> T) -> T {
 }
 
 /// Clears all collected spans, metrics and period records, and resets the
-/// tensor thread-pool dispatch counters and buffer-pool counters. Does
-/// not change the enabled flag.
+/// tensor thread-pool dispatch counters, buffer-pool counters and
+/// plan-engine counters. Does not change the enabled flag.
 pub fn reset() {
     with_state(|s| *s = TraceState::default());
     urcl_tensor::reset_pool_stats();
     urcl_tensor::reset_buffer_pool_stats();
+    urcl_tensor::reset_plan_stats();
 }
 
 /// Aggregated span statistics collected so far, keyed by full path.
@@ -148,11 +150,12 @@ pub fn gauge_value(name: &str) -> Option<f64> {
 /// Renders everything collected so far as a schema-stable JSON document.
 ///
 /// Top-level keys: `schema`, `spans`, `counters`, `gauges`, `histograms`,
-/// `periods`, `pool`. Span and metric maps iterate in sorted (BTreeMap)
-/// order so the output is deterministic.
+/// `periods`, `pool`, `plan`. Span and metric maps iterate in sorted
+/// (BTreeMap) order so the output is deterministic.
 pub fn snapshot() -> Value {
     let pool = urcl_tensor::pool_stats();
     let buf = urcl_tensor::buffer_pool_stats();
+    let plan = urcl_tensor::plan_stats();
     with_state(|s| {
         let mut spans = Value::object();
         for (path, st) in &s.spans {
@@ -211,6 +214,19 @@ pub fn snapshot() -> Value {
                     .with("pool_miss", Value::Num(buf.misses as f64))
                     .with("pool_bytes_recycled", Value::Num(buf.bytes_recycled as f64))
                     .with("pool_peak_resident_f32", Value::Num(buf.peak_live_f32 as f64)),
+            )
+            .with(
+                "plan",
+                Value::object()
+                    .with("compiles", Value::Num(plan.compiles as f64))
+                    .with("replays", Value::Num(plan.replays as f64))
+                    .with("fused_stages", Value::Num(plan.fused_stages as f64))
+                    .with(
+                        "dead_edges_skipped",
+                        Value::Num(plan.dead_edges_skipped as f64),
+                    )
+                    .with("buffer_moves", Value::Num(plan.buffer_moves as f64))
+                    .with("values_dropped", Value::Num(plan.values_dropped as f64)),
             )
     })
 }
@@ -314,10 +330,28 @@ mod tests {
             "histograms",
             "periods",
             "pool",
+            "plan",
             "host_threads",
             "simd_isa",
         ] {
             assert!(doc.get(key).is_some(), "missing top-level key {key}");
+        }
+        // The plan object exports the execution-plan engine's counters;
+        // dashboards key off these names to confirm plans are actually
+        // replaying (compiles low and constant, replays growing).
+        let plan = doc.get("plan").expect("plan");
+        for key in [
+            "compiles",
+            "replays",
+            "fused_stages",
+            "dead_edges_skipped",
+            "buffer_moves",
+            "values_dropped",
+        ] {
+            assert!(
+                plan.get(key).and_then(Value::as_u64).is_some(),
+                "missing plan counter {key}"
+            );
         }
         // The SIMD gauge reports the active ISA tier and the pool object
         // carries the parallel-region telemetry added for the scaling

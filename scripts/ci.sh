@@ -30,6 +30,21 @@ echo "== tests with SIMD fast kernels force-disabled (URCL_SIMD=0) =="
 # forced off so the baseline cannot rot unnoticed.
 URCL_SIMD=0 cargo test -q --offline -p urcl-tensor
 
+echo "== tests with the plan engine force-disabled (URCL_PLAN=0) =="
+# The tape interpreter is the bitwise reference the compiled-plan engine
+# is pinned against; run the kernel-owning crate's full suite with plans
+# forced off so the fallback path cannot rot unnoticed.
+URCL_PLAN=0 cargo test -q --offline -p urcl-tensor
+
+echo "== plan parity + buffer-lifetime suites (release) =="
+# Architecture-churned graphs and gated-conv share groups replayed
+# through compiled plans, asserted bitwise against per-step re-recorded
+# tapes; the lifetime suite re-runs them under pool NaN-poisoning to
+# surface any use-after-release or read-before-init in the plan's
+# precomputed drop schedule.
+cargo test -q --offline --release -p urcl-tensor \
+  --test plan_parity --test plan_lifetimes
+
 echo "== rustdoc (warnings are errors) =="
 # Catches broken intra-doc links and, via the per-crate
 # #![warn(missing_docs)] attributes, any undocumented public item.

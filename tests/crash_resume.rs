@@ -22,8 +22,8 @@
 
 use urcl::core::persist::copy_store_checked;
 use urcl::core::{
-    CheckpointDir, ContinualTrainer, HookAction, NoopHook, PipelineState, RunOutcome,
-    RunReport, StSimSiam, StepBudget, StepInfo, TrainHook, TrainerConfig,
+    Ablation, CheckpointDir, ContinualTrainer, HookAction, NoopHook, PipelineState,
+    RunOutcome, RunReport, StSimSiam, StepBudget, StepInfo, TrainHook, TrainerConfig,
 };
 use urcl::models::{GraphWaveNet, GwnConfig};
 use urcl::stdata::{ContinualSplit, DatasetConfig, SyntheticDataset};
@@ -47,6 +47,15 @@ impl World {
     /// end up agreeing on must therefore have come through the
     /// checkpoint.
     fn new(init_seed: u64) -> Self {
+        Self::with_augmentation(init_seed, true)
+    }
+
+    /// Like [`Self::new`], but with spatio-temporal augmentation
+    /// switchable. With augmentation off (the paper's w/o_STA ablation)
+    /// the training graph's structure is a pure function of batch shapes,
+    /// so training steps run through compiled plans when the plan engine
+    /// is on — which is what the mixed-engine sweep needs to exercise.
+    fn with_augmentation(init_seed: u64, augmentation: bool) -> Self {
         let mut cfg = DatasetConfig::metr_la().tiny();
         cfg.num_days = 3;
         let dataset = SyntheticDataset::generate(cfg);
@@ -81,6 +90,10 @@ impl World {
             rmir_pool: 8,
             rmir_candidates: 4,
             seed: init_seed,
+            ablation: Ablation {
+                augmentation,
+                ..Ablation::default()
+            },
             ..TrainerConfig::default()
         });
         Self {
@@ -171,7 +184,10 @@ fn assert_reports_bitwise_equal(a: &RunReport, b: &RunReport, ctx: &str) {
 /// Kills the reference world at step `kill_at`, checkpoints it into `dir`,
 /// and returns the checkpoint size in bytes.
 fn kill_and_checkpoint(dir: &CheckpointDir, kill_at: u64) -> u64 {
-    let mut world = World::new(21);
+    kill_and_checkpoint_world(dir, kill_at, World::new(21))
+}
+
+fn kill_and_checkpoint_world(dir: &CheckpointDir, kill_at: u64, mut world: World) -> u64 {
     let outcome = world.run_to_completion(&mut StepBudget::new(kill_at));
     assert!(
         matches!(outcome, RunOutcome::Paused),
@@ -190,9 +206,12 @@ fn kill_and_checkpoint(dir: &CheckpointDir, kill_at: u64) -> u64 {
 /// Restores a fresh differently-seeded world from `dir` and drives it to
 /// completion.
 fn resume_from_disk(dir: &CheckpointDir) -> (World, RunReport) {
+    resume_from_disk_world(dir, World::new(777))
+}
+
+fn resume_from_disk_world(dir: &CheckpointDir, mut world: World) -> (World, RunReport) {
     let ckpt = dir.load().expect("checkpoint loads");
     let state = ckpt.pipeline.as_ref().expect("full-pipeline checkpoint");
-    let mut world = World::new(777);
     copy_store_checked(&ckpt.store, &mut world.store).expect("layouts match");
     world.trainer.restore(state.trainer.clone());
     match world.resume(&mut NoopHook) {
@@ -276,6 +295,61 @@ fn kill_at_every_step_boundary_resumes_bitwise() {
             reference.trainer.rmir_stats(),
             "{ctx}: RMIR statistics"
         );
+    }
+}
+
+#[test]
+fn mixed_plan_interpreter_kill_resume_is_bitwise() {
+    // The trainer's two execution engines — compiled-plan replay (the
+    // default) and tape re-recording (`URCL_PLAN=0`) — record the
+    // identical graph, so a checkpoint written by one must resume
+    // bitwise on the other. This sweep kills at every step boundary and
+    // crosses the engine at the crash: plan before the kill, interpreter
+    // after, and vice versa. Every observable must still match the
+    // uninterrupted reference.
+    //
+    // The worlds run the w/o_STA ablation (augmentation off): with the
+    // graph structure a pure function of batch shapes, training steps
+    // actually go through compiled plans when the engine is on, instead
+    // of falling back to the interpreter as the augmented default does.
+    //
+    // `set_plan` is process-global; flipping it mid-binary is safe
+    // precisely because of the contract under test — the flag never
+    // changes bits, so concurrently running tests cannot be perturbed.
+    let mut reference = World::with_augmentation(21, false);
+    let mut recorder = Recorder::default();
+    let ref_report = match reference.run_to_completion(&mut recorder) {
+        RunOutcome::Completed(report) => report,
+        RunOutcome::Paused => panic!("recorder never pauses"),
+    };
+    let total_steps = recorder.steps.last().expect("run trained").global_step;
+
+    for kill_at in 1..=total_steps {
+        for (before, after) in [(true, false), (false, true)] {
+            let dir_path = scratch_dir(&format!(
+                "mixed-{}{}-step{kill_at}",
+                before as u8, after as u8
+            ));
+            let dir = CheckpointDir::new(&dir_path).unwrap();
+            let prev = urcl::tensor::set_plan(before);
+            let bytes =
+                kill_and_checkpoint_world(&dir, kill_at, World::with_augmentation(21, false));
+            assert!(bytes > 0);
+            urcl::tensor::set_plan(after);
+            let (world, report) =
+                resume_from_disk_world(&dir, World::with_augmentation(777, false));
+            urcl::tensor::set_plan(prev);
+            std::fs::remove_dir_all(&dir_path).ok();
+
+            let engines = |on: bool| if on { "plan" } else { "interp" };
+            let ctx = format!(
+                "{}->{} kill at step {kill_at}/{total_steps}",
+                engines(before),
+                engines(after)
+            );
+            assert_params_bitwise_equal(&reference.store, &world.store, &ctx);
+            assert_reports_bitwise_equal(&ref_report, &report, &ctx);
+        }
     }
 }
 

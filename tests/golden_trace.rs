@@ -90,7 +90,7 @@ fn traced_pipeline_matches_golden_schema_and_mae() {
         doc.get("schema").and_then(Value::as_str),
         Some(trace::SCHEMA)
     );
-    for key in ["threads", "spans", "counters", "gauges", "histograms", "periods", "pool"] {
+    for key in ["threads", "spans", "counters", "gauges", "histograms", "periods", "pool", "plan"] {
         assert!(doc.get(key).is_some(), "missing top-level key {key}");
     }
     // Round-trips through the in-tree parser without loss.
@@ -144,6 +144,33 @@ fn traced_pipeline_matches_golden_schema_and_mae() {
         pool.get("pool_peak_resident_f32").and_then(Value::as_u64).unwrap() > 0,
         "peak resident watermark never moved"
     );
+
+    // --- plan-engine telemetry: the traced run evaluates through
+    // compiled plans whenever the engine is on, so the counters must
+    // show real compiles and strictly more replays than compiles ---
+    let plan = doc.get("plan").expect("plan");
+    for key in [
+        "compiles",
+        "replays",
+        "fused_stages",
+        "dead_edges_skipped",
+        "buffer_moves",
+        "values_dropped",
+    ] {
+        assert!(
+            plan.get(key).and_then(Value::as_u64).is_some(),
+            "plan counter {key} missing"
+        );
+    }
+    if urcl::tensor::plan_enabled() {
+        let compiles = plan.get("compiles").and_then(Value::as_u64).unwrap();
+        let replays = plan.get("replays").and_then(Value::as_u64).unwrap();
+        assert!(compiles > 0, "plan engine on but nothing compiled");
+        assert!(
+            replays >= compiles,
+            "every compiled plan should replay at least once ({replays} vs {compiles})"
+        );
+    }
 
     // --- period records: one per streaming set, fields populated ---
     let periods = doc.get("periods").and_then(Value::as_array).expect("periods");
