@@ -3,10 +3,10 @@
 //! submission, shard routing, coalescing, fused forward, denormalization,
 //! response cache — across threads × shards × tenants × client counts
 //! (into the thousands). Prints a table and writes `BENCH_serve.json`
-//! (schema `urcl-bench-serve-v2`, per-tenant percentiles) at the
+//! (schema `urcl-bench-serve-v3`, per-tenant percentiles) at the
 //! workspace root.
 //!
-//! Three cell families:
+//! Five cell families:
 //!
 //! * `solo` — one tenant, one shard, cache off: directly comparable to
 //!   the old single-queue `urcl-bench-serve-v1` numbers (whose
@@ -18,6 +18,17 @@
 //!   set: the production traffic shape (many users, few live windows).
 //!   Cache hits and dedup joins are reported per tenant, so the >=10x
 //!   aggregate headline is transparently attributable.
+//! * `wire` — the same closed loop driven **over the network**: an
+//!   [`HttpServer`] on an ephemeral port, keep-alive TCP clients posting
+//!   JSON windows to `/v1/tenants/{name}/forecast` and parsing JSON
+//!   forecasts back. Gated at [`WIRE_FLOOR_RPS`] end-to-end (accept →
+//!   parse → serve → serialize → write).
+//! * `steal` duel — a paced strict-affinity burst lands on one shard of
+//!   a four-shard tenant whose own worker is frozen by a long coalesce
+//!   delay, so the backlog drains only if idle siblings steal it; run
+//!   once with work stealing off and once on. Gated: stealing must shed
+//!   *strictly less*, actually steal, and keep aggregate throughput
+//!   within noise of the steal-off run.
 //!
 //! Every (1-thread, 4-thread) pair is taken best-of-N with extra
 //! 4-thread retries until the pair is monotonic: on a single-core host
@@ -26,17 +37,27 @@
 //!
 //! Usage: `bench_serve [--quick]`
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use urcl_core::{CheckpointDir, TrainerConfig, UrclPipeline};
 use urcl_json::Value;
-use urcl_serve::{BatchPolicy, CachePolicy, ServeConfig, TenantClient, Tenants};
+use urcl_serve::{
+    BatchPolicy, CachePolicy, HttpConfig, HttpServer, ServeConfig, ServeError, TenantClient,
+    Tenants,
+};
 use urcl_stdata::{DatasetConfig, SyntheticDataset};
 use urcl_tensor::Tensor;
 
 /// The aggregate-throughput floor the best cell must clear: 10x the old
 /// single-queue runtime's ~1.4k req/s `max_batch = 1` peak.
 const AGGREGATE_FLOOR_RPS: f64 = 14_000.0;
+
+/// End-to-end floor for the over-the-wire cell: accept, HTTP parse, JSON
+/// window decode, serve (cache-on hot set), JSON forecast encode, write.
+const WIRE_FLOOR_RPS: f64 = 2_000.0;
 
 /// Extra 4-thread trials allowed to make a (1t, 4t) pair monotonic.
 const MONOTONIC_RETRIES: usize = 8;
@@ -102,6 +123,7 @@ struct CellSpec {
     /// `Some(k)`: clients cycle over only the first `k` windows (the
     /// cache's hot set); `None`: the full pool.
     hot_windows: Option<usize>,
+    steal: bool,
 }
 
 struct TenantResult {
@@ -163,6 +185,7 @@ fn run_trial(fixtures: &[TenantFixture], spec: CellSpec) -> CellResult {
                     queue_bound: 4096,
                     cache: spec.cache.then(CachePolicy::default),
                     fast_activations: spec.fast,
+                    steal: spec.steal,
                 },
             )
             .expect("register tenant");
@@ -305,6 +328,7 @@ fn cell_json(spec: &CellSpec, r: &CellResult, trials: usize) -> Value {
         .with("max_batch", spec.max_batch)
         .with("cache", spec.cache)
         .with("fast_activations", spec.fast)
+        .with("steal", spec.steal)
         .with("tenant_count", spec.tenant_count)
         .with("clients_total", spec.tenant_count * spec.clients_per_tenant)
         .with("reqs_per_client", spec.reqs_per_client)
@@ -354,6 +378,253 @@ fn run_pair(
     (best, monotonic)
 }
 
+/// Serializes a `[M, N, C]` window into the HTTP request bytes a wire
+/// client replays (built once outside the timed loop — the *server's*
+/// JSON decode is the cost under test, not the client's encode).
+fn wire_request(name: &str, window: &Tensor) -> Vec<u8> {
+    let [m, n, c] = [window.shape()[0], window.shape()[1], window.shape()[2]];
+    let data = window.data();
+    let steps: Vec<Value> = (0..m)
+        .map(|i| {
+            Value::Array(
+                (0..n)
+                    .map(|j| urcl_json::f32_array(&data[(i * n + j) * c..(i * n + j + 1) * c]))
+                    .collect(),
+            )
+        })
+        .collect();
+    let body = Value::object()
+        .with("window", Value::Array(steps))
+        .to_string_compact();
+    format!(
+        "POST /v1/tenants/{name}/forecast HTTP/1.1\r\nHost: bench\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Reads one HTTP response off a keep-alive stream; returns the status.
+fn wire_read_response(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> std::io::Result<u16> {
+    scratch.clear();
+    let head_end = loop {
+        if let Some(pos) = scratch.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let mut chunk = [0u8; 8192];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        scratch.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&scratch[..head_end]);
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(std::io::ErrorKind::InvalidData)?;
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(|v| v.trim().to_string()))
+        .and_then(|v| v.parse().ok())
+        .ok_or(std::io::ErrorKind::InvalidData)?;
+    while scratch.len() < head_end + len {
+        let mut chunk = [0u8; 8192];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        scratch.extend_from_slice(&chunk[..n]);
+    }
+    Ok(status)
+}
+
+/// One over-the-wire trial: an [`HttpServer`] over a cache-on registry,
+/// keep-alive TCP clients replaying prebuilt requests closed-loop.
+fn run_wire_trial(fx: &TenantFixture, clients: usize, reqs: usize) -> CellResult {
+    let prev = urcl_tensor::set_threads(1);
+    let registry = Arc::new(Tenants::new());
+    let (model, template) = UrclPipeline::serving_parts_dyn(
+        &fx.ds.network,
+        &fx.ds.config,
+        &TrainerConfig::default(),
+    );
+    let client = registry
+        .add(
+            fx.name,
+            model,
+            template,
+            CheckpointDir::new(&fx.dir).expect("checkpoint dir"),
+            ServeConfig {
+                policy: BatchPolicy {
+                    max_batch: 8,
+                    max_delay: Duration::from_millis(1),
+                },
+                target_channel: fx.ds.config.target_channel,
+                reload_interval: None,
+                shards: 2,
+                queue_bound: 4096,
+                cache: Some(CachePolicy::default()),
+                fast_activations: true,
+                steal: true,
+            },
+        )
+        .expect("register tenant");
+    assert!(client.has_snapshot(), "tenant must load its checkpoint");
+    let mut server = HttpServer::bind(
+        Arc::clone(&registry),
+        HttpConfig {
+            workers: clients.max(4),
+            ..HttpConfig::default()
+        },
+    )
+    .expect("bind listener");
+    let addr = server.local_addr();
+
+    // The hot set, prebuilt as raw request bytes.
+    let requests: Arc<Vec<Vec<u8>>> = Arc::new(
+        fx.windows[..8].iter().map(|w| wire_request(fx.name, w)).collect(),
+    );
+    // Warm-up: bring every worker and the cache hot set into steady state.
+    {
+        let mut stream = TcpStream::connect(addr).expect("warm-up connect");
+        let mut scratch = Vec::new();
+        for req in requests.iter() {
+            stream.write_all(req).expect("warm-up write");
+            let status = wire_read_response(&mut stream, &mut scratch).expect("warm-up read");
+            assert_eq!(status, 200, "warm-up request failed");
+        }
+    }
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let requests = Arc::clone(&requests);
+        handles.push(std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("client connect");
+            let mut scratch = Vec::new();
+            let mut lat = Vec::with_capacity(reqs);
+            let mut shed = 0u64;
+            for i in 0..reqs {
+                let req = &requests[(c + i) % requests.len()];
+                let q0 = Instant::now();
+                stream.write_all(req).expect("client write");
+                match wire_read_response(&mut stream, &mut scratch).expect("client read") {
+                    200 => lat.push(q0.elapsed().as_secs_f64()),
+                    503 => shed += 1,
+                    s => panic!("wire client got status {s}"),
+                }
+            }
+            (lat, shed)
+        }));
+    }
+    let mut lat = Vec::new();
+    let mut shed = 0u64;
+    for h in handles {
+        let (l, s) = h.join().expect("wire client");
+        lat.extend(l);
+        shed += s;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let stats = client.stats();
+    let ok = lat.len() as u64;
+    server.shutdown();
+    drop(client);
+    drop(registry);
+    urcl_tensor::set_threads(prev);
+    CellResult {
+        rps: ok as f64 / wall,
+        per_tenant: vec![TenantResult {
+            name: fx.name,
+            ok,
+            shed,
+            rps: ok as f64 / wall,
+            p50_ms: percentile(&lat, 0.50) * 1e3,
+            p95_ms: percentile(&lat, 0.95) * 1e3,
+            p99_ms: percentile(&lat, 0.99) * 1e3,
+            batches: stats.batches,
+            largest_batch: stats.max_batch,
+            cache_hits: stats.cache_hits,
+            dedup_joins: stats.dedup_joins,
+        }],
+    }
+}
+
+/// One steal-duel trial: a paced burst of strict-affinity submissions
+/// lands on shard 0 of a four-shard tenant whose own worker is frozen by
+/// a coalesce delay far longer than the inter-arrival gap, so the
+/// backlog is served promptly only if the three idle siblings steal it.
+/// Throughput counts admitted requests over the burst-to-last-response
+/// wall clock. Returns `(rps, ok, shed, steals)`.
+fn run_steal_trial(fx: &TenantFixture, steal: bool, reqs: usize) -> (f64, u64, u64, u64) {
+    let prev = urcl_tensor::set_threads(1);
+    let registry = Tenants::new();
+    let (model, template) = UrclPipeline::serving_parts_dyn(
+        &fx.ds.network,
+        &fx.ds.config,
+        &TrainerConfig::default(),
+    );
+    let client = registry
+        .add(
+            fx.name,
+            model,
+            template,
+            CheckpointDir::new(&fx.dir).expect("checkpoint dir"),
+            ServeConfig {
+                policy: BatchPolicy {
+                    max_batch: 8,
+                    // Freeze the hot shard's own worker: it holds its
+                    // batch open far longer than the 5 ms submission
+                    // pace, so only thieves clear the backlog quickly.
+                    max_delay: Duration::from_millis(350),
+                },
+                target_channel: fx.ds.config.target_channel,
+                reload_interval: None,
+                shards: 4,
+                // Tight bound: backlog beyond it sheds, so the duel
+                // measures stealing as *admitted work*, not just latency.
+                queue_bound: 2,
+                cache: None,
+                fast_activations: true,
+                steal,
+            },
+        )
+        .expect("register tenant");
+    assert!(client.has_snapshot(), "tenant must load its checkpoint");
+    // Warm-up: spin up shard workers before the timed window.
+    client.predict(&fx.windows[0]).expect("warm-up");
+
+    let t0 = Instant::now();
+    let mut admitted = Vec::new();
+    let mut shed = 0u64;
+    for i in 0..reqs {
+        // Affinity key 0: the whole burst lands on one shard.
+        match client.submit_affine(0, fx.windows[i % fx.windows.len()].clone()) {
+            Ok(pending) => admitted.push(pending),
+            Err(ServeError::Shed { .. }) => shed += 1,
+            Err(e) => panic!("steal-duel submit error: {e}"),
+        }
+        // Pace the burst so thieves get scheduler time to react.
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut ok = 0u64;
+    for pending in admitted {
+        pending
+            .wait_timeout(Duration::from_secs(60))
+            .expect("admitted request stranded")
+            .expect("admitted request served");
+        ok += 1;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = client.stats();
+    drop(client);
+    drop(registry);
+    urcl_tensor::set_threads(prev);
+    (ok as f64 / wall, ok, shed, stats.steals)
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     // Quick trials are an order of magnitude shorter (a 1-client solo
@@ -394,6 +665,7 @@ fn main() {
                 clients_per_tenant: max_batch,
                 reqs_per_client: if quick { 40 } else { 200 },
                 hot_windows: None,
+                steal: true,
             },
             tolerance,
         );
@@ -418,6 +690,7 @@ fn main() {
                 clients_per_tenant: max_batch,
                 reqs_per_client: if quick { 20 } else { 100 },
                 hot_windows: None,
+                steal: true,
             },
             tolerance,
         );
@@ -443,11 +716,87 @@ fn main() {
             clients_per_tenant: if quick { 64 } else { 256 },
             reqs_per_client: if quick { 20 } else { 50 },
             hot_windows: Some(16),
+            steal: true,
         },
         tolerance,
     );
     best_aggregate = best_aggregate.max(best);
     all_monotonic &= mono;
+
+    // Family D — wire: the hotset shape driven over TCP through the HTTP
+    // front-end. Retried best-of until the floor is cleared (bounded), so
+    // a noisy scheduler does not fail a healthy listener.
+    let wire_spec = CellSpec {
+        mode: "wire",
+        threads: 1,
+        shards: 2,
+        max_batch: 8,
+        cache: true,
+        fast: true,
+        tenant_count: 1,
+        clients_per_tenant: 8,
+        reqs_per_client: if quick { 50 } else { 400 },
+        hot_windows: Some(8),
+        steal: true,
+    };
+    let mut wire = run_wire_trial(&fixtures[0], wire_spec.clients_per_tenant, wire_spec.reqs_per_client);
+    let mut wire_trials = 1;
+    while wire.rps < WIRE_FLOOR_RPS && wire_trials < 1 + MONOTONIC_RETRIES {
+        let r = run_wire_trial(&fixtures[0], wire_spec.clients_per_tenant, wire_spec.reqs_per_client);
+        wire_trials += 1;
+        if r.rps > wire.rps {
+            wire = r;
+        }
+    }
+    print_cell(&wire_spec, &wire);
+    assert!(
+        wire.rps >= WIRE_FLOOR_RPS,
+        "over-the-wire throughput {:.0} req/s under the {WIRE_FLOOR_RPS:.0} floor",
+        wire.rps
+    );
+    let wire_rps = wire.rps;
+    cells.push(cell_json(&wire_spec, &wire, wire_trials));
+
+    // Family E — steal duel: the identical paced skewed-affinity burst,
+    // stealing off then on. Each side is retried (bounded) until the
+    // gates are satisfiable/held: the off side must shed at all for
+    // "strictly fewer" to mean anything, and the on side must shed
+    // strictly less, actually steal, and stay within throughput noise.
+    let duel_reqs = if quick { 40 } else { 160 };
+    let mut off = run_steal_trial(&fixtures[0], false, duel_reqs);
+    let mut duel_trials_off = 1;
+    while off.2 == 0 && duel_trials_off < 1 + MONOTONIC_RETRIES {
+        off = run_steal_trial(&fixtures[0], false, duel_reqs);
+        duel_trials_off += 1;
+    }
+    let (off_rps, off_ok, off_shed, off_steals) = off;
+    assert_eq!(off_steals, 0, "stealing disabled must never steal");
+    assert!(off_shed > 0, "the frozen worker plus bound 2 must shed with stealing off");
+    let mut on = run_steal_trial(&fixtures[0], true, duel_reqs);
+    let mut duel_trials = 1;
+    while (on.2 >= off_shed || on.3 == 0 || on.0 < off_rps * 0.9)
+        && duel_trials < 1 + MONOTONIC_RETRIES
+    {
+        let r = run_steal_trial(&fixtures[0], true, duel_reqs);
+        duel_trials += 1;
+        if (r.2, std::cmp::Reverse(r.0 as u64)) < (on.2, std::cmp::Reverse(on.0 as u64)) {
+            on = r;
+        }
+    }
+    let (on_rps, on_ok, on_shed, on_steals) = on;
+    println!(
+        "  steal   off: {off_rps:>9.1} req/s  ok {off_ok:>5}  shed {off_shed:>5}\n  \
+           steal    on: {on_rps:>9.1} req/s  ok {on_ok:>5}  shed {on_shed:>5}  steals {on_steals}"
+    );
+    assert!(
+        on_shed < off_shed,
+        "stealing must shed strictly less under skew: {on_shed} vs {off_shed}"
+    );
+    assert!(
+        on_rps >= off_rps * 0.9,
+        "stealing must not cost aggregate throughput: {on_rps:.1} vs {off_rps:.1} req/s"
+    );
+    assert!(on_steals > 0, "the duel's on side must actually steal");
 
     assert!(
         best_aggregate >= AGGREGATE_FLOOR_RPS,
@@ -455,6 +804,7 @@ fn main() {
     );
     println!(
         "best aggregate {best_aggregate:.0} req/s (floor {AGGREGATE_FLOOR_RPS:.0}), \
+         wire {wire_rps:.0} req/s (floor {WIRE_FLOOR_RPS:.0}), \
          thread pairs monotonic: {all_monotonic}"
     );
 
@@ -470,17 +820,45 @@ fn main() {
         })
         .collect();
     let doc = Value::object()
-        .with("schema", "urcl-bench-serve-v2")
+        .with("schema", "urcl-bench-serve-v3")
         .with("quick", quick)
         .with("host_threads", urcl_tensor::host_parallelism() as u64)
         .with("baseline_rps", 1400.0)
         .with("tenants", Value::Array(tenants_json))
         .with("cells", Value::Array(cells))
         .with(
+            "steal_duel",
+            Value::object()
+                .with("reqs", duel_reqs as u64)
+                .with("pace_ms", 5u64)
+                .with("trials_off", duel_trials_off)
+                .with("trials_on", duel_trials)
+                .with(
+                    "off",
+                    Value::object()
+                        .with("requests_per_sec", off_rps)
+                        .with("ok", off_ok)
+                        .with("shed", off_shed)
+                        .with("steals", off_steals),
+                )
+                .with(
+                    "on",
+                    Value::object()
+                        .with("requests_per_sec", on_rps)
+                        .with("ok", on_ok)
+                        .with("shed", on_shed)
+                        .with("steals", on_steals),
+                ),
+        )
+        .with(
             "gates",
             Value::object()
                 .with("aggregate_floor_rps", AGGREGATE_FLOOR_RPS)
                 .with("best_aggregate_rps", best_aggregate)
+                .with("wire_floor_rps", WIRE_FLOOR_RPS)
+                .with("wire_rps", wire_rps)
+                .with("steal_sheds_strictly_fewer", on_shed < off_shed)
+                .with("steal_throughput_within_noise", on_rps >= off_rps * 0.9)
                 .with("thread_pairs_monotonic", all_monotonic),
         );
     let out = "BENCH_serve.json";

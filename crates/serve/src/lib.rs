@@ -33,6 +33,16 @@
 //!   forecasts are memoized *exactly* (keys compare the full window bit
 //!   pattern) and identical concurrent requests deduplicate onto one
 //!   in-flight forward. Hot-swaps purge stale generations.
+//! * **Work stealing** ([`ServeConfig::steal`], on by default) — a shard
+//!   worker whose own queue is empty drains the oldest requests of a hot
+//!   sibling instead of sleeping, keeping every worker busy under skewed
+//!   load without touching admission, drain, or response bits.
+//!
+//! The registry is externally drivable over the wire: [`HttpServer`]
+//! (module [`http`]) binds a std-only HTTP/1.1 listener with a bounded
+//! connection-worker pool and serves `POST
+//! /v1/tenants/{name}/forecast` with JSON windows, mapping every
+//! [`ServeError`] onto a typed 4xx/5xx status.
 //!
 //! The whole path is instrumented with `urcl-trace`: global
 //! `serve.requests` / `serve.batches` / `serve.shed` / `serve.swaps` /
@@ -110,12 +120,14 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod http;
 mod server;
 mod shard;
 mod snapshot;
 mod tenant;
 
 pub use cache::CachePolicy;
+pub use http::{HttpConfig, HttpServer, HttpStats};
 pub use server::{
     forward_batch, BatchPolicy, Forecast, PendingForecast, ServeConfig, ServeError, Server,
     ServerStats,

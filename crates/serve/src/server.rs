@@ -78,6 +78,15 @@ pub struct ServeConfig {
     /// throughput-first deployments opt in. Scoped to the serving
     /// forwards — training in the same process is never affected.
     pub fast_activations: bool,
+    /// Cross-shard work stealing (on by default): a shard worker whose
+    /// own queue is empty drains up to `max_batch` of the oldest requests
+    /// from a hot sibling's queue and runs them as its own batch, instead
+    /// of sleeping while the sibling's backlog grows. Admission control,
+    /// the drain protocol and response bits are all unchanged — stealing
+    /// moves only already-admitted requests, every stolen request is
+    /// processed immediately by the thief, and batched forwards are
+    /// bitwise independent of batch composition (DESIGN.md §15).
+    pub steal: bool,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +99,7 @@ impl Default for ServeConfig {
             queue_bound: 1024,
             cache: None,
             fast_activations: false,
+            steal: true,
         }
     }
 }

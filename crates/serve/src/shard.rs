@@ -27,6 +27,26 @@
 //! flag is visible, and the worker drains it; any submit that loses gets
 //! a typed `ShuttingDown`. `drain_interleavings.rs` enumerates seeded
 //! schedules over exactly this race and asserts zero stranded waiters.
+//!
+//! ## Work stealing
+//!
+//! An idle shard worker may *steal* the oldest queued requests of a hot
+//! sibling ([`Shard::try_steal`]) and run them as its own batch. Stealing
+//! composes with both protocols above without new states:
+//!
+//! * **Admission** is untouched — a request is admitted (or shed) by the
+//!   submit path exactly as before; stealing only moves *already
+//!   admitted* requests between a queue and a running batch, so queue
+//!   depths can only shrink and the per-shard bound still holds.
+//! * **Drain** is untouched — a stolen request is processed immediately
+//!   by the thief (never re-queued), so "every admitted request is
+//!   answered" survives any interleaving of stealing with `drain()`.
+//!   Stealing from a draining sibling is allowed and simply parallelizes
+//!   the drain.
+//! * **Determinism** is untouched — batched and solo forwards are
+//!   bitwise identical (the tensor runtime never reorders reductions),
+//!   so *which* worker serves a request, and in which batch composition,
+//!   is unobservable in the response bits.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -117,6 +137,30 @@ impl Shard {
     pub(crate) fn drain(&self) {
         self.lock().draining = true;
         self.notify.notify_all();
+    }
+
+    /// Steals up to `max` of the *oldest* queued requests for an idle
+    /// sibling worker to run as its own batch. Returns an empty vector
+    /// when the queue holds fewer than `min_depth` requests (a backlog
+    /// that shallow is the owning worker's next batch anyway) or when the
+    /// shard's lock is contended — a contended lock means the owner or
+    /// another thief is already draining it, so the would-be thief just
+    /// moves on instead of queueing behind them.
+    ///
+    /// Stealing from the front keeps service order FIFO per queue: the
+    /// requests closest to their latency deadline leave first. A draining
+    /// shard may be stolen from — its own worker exits on "draining and
+    /// empty", and anything the thief takes is processed by the thief, so
+    /// no admitted request is ever stranded.
+    pub(crate) fn try_steal(&self, max: usize, min_depth: usize) -> Vec<Pending> {
+        let Ok(mut st) = self.state.try_lock() else {
+            return Vec::new();
+        };
+        if st.queue.len() < min_depth.max(1) {
+            return Vec::new();
+        }
+        let take = st.queue.len().min(max);
+        st.queue.drain(..take).collect()
     }
 
     /// Current queue depth (diagnostics).

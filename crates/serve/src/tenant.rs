@@ -37,6 +37,22 @@ use crate::snapshot::ModelSnapshot;
 /// shard's condvar.
 pub(crate) const IDLE_TICK: Duration = Duration::from_millis(25);
 
+/// A sibling queue must hold at least this many requests before an idle
+/// worker steals from it — one queued request is the owning worker's
+/// next batch anyway, and moving it would only forfeit its coalescing
+/// window.
+const STEAL_MIN_DEPTH: usize = 2;
+
+/// How a submit picks its shard.
+enum Route {
+    /// Round-robin sweep over every shard (the default): admitted by the
+    /// first shard with room, shed only when all are full.
+    Sweep,
+    /// Strict affinity: only shard `key % shards` is probed. Trades
+    /// spillover for locality — see [`TenantClient::submit_affine`].
+    Affine(u64),
+}
+
 /// Point-in-time counters for one tenant (all atomic reads, no locks).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TenantStats {
@@ -58,6 +74,12 @@ pub struct TenantStats {
     pub cache_misses: u64,
     /// Requests that joined an identical in-flight forward.
     pub dedup_joins: u64,
+    /// Steal operations: batches an idle shard worker pulled from a hot
+    /// sibling's queue.
+    pub steals: u64,
+    /// Requests served out of stolen batches (each steal moves one or
+    /// more queued requests).
+    pub stolen: u64,
 }
 
 impl TenantStats {
@@ -73,6 +95,8 @@ impl TenantStats {
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             dedup_joins: self.dedup_joins + other.dedup_joins,
+            steals: self.steals + other.steals,
+            stolen: self.stolen + other.stolen,
         }
     }
 }
@@ -88,6 +112,8 @@ struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     dedup_joins: AtomicU64,
+    steals: AtomicU64,
+    stolen: AtomicU64,
 }
 
 pub(crate) struct TenantCore {
@@ -125,7 +151,7 @@ impl TenantCore {
             .unwrap_or(0)
     }
 
-    fn submit(&self, window: Tensor) -> Result<PendingForecast, ServeError> {
+    fn submit(&self, window: Tensor, route: Route) -> Result<PendingForecast, ServeError> {
         let expected = self.input_shape();
         if window.shape() != expected {
             return Err(ServeError::BadRequest(format!(
@@ -175,11 +201,18 @@ impl TenantCore {
             }
         }
 
-        // Route: start at the round-robin cursor, sweep once over all
-        // shards. Each shard's drain flag and depth bound are checked
-        // under that shard's own lock — there is no cross-shard lock.
+        // Route: either a full sweep from the round-robin cursor, or a
+        // single strict-affinity probe. Each shard's drain flag and depth
+        // bound are checked under that shard's own lock — there is no
+        // cross-shard lock.
         let n = self.shards.len();
-        let start = self.router.fetch_add(1, Ordering::Relaxed);
+        let (start, probes) = match route {
+            Route::Sweep => (self.router.fetch_add(1, Ordering::Relaxed), n),
+            // Strict affinity: one shard, no spillover. An overloaded
+            // keyed shard sheds even while siblings have room — work
+            // stealing, not the submit path, is what rebalances it.
+            Route::Affine(key) => ((key % n as u64) as usize, 1),
+        };
         let mut pending = Pending {
             window,
             enqueued: Instant::now(),
@@ -188,7 +221,7 @@ impl TenantCore {
         };
         let mut any_open = false;
         let mut fullest = 0usize;
-        for i in 0..n {
+        for i in 0..probes {
             let idx = (start + i) % n;
             match self.shards[idx].try_submit(pending) {
                 Ok(depth) => {
@@ -289,23 +322,77 @@ impl TenantCore {
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
             dedup_joins: self.stats.dedup_joins.load(Ordering::Relaxed),
+            steals: self.stats.steals.load(Ordering::Relaxed),
+            stolen: self.stats.stolen.load(Ordering::Relaxed),
         }
     }
 }
 
-/// The per-shard worker: batch under the policy, forward, reply.
+/// One attempt to steal a batch for an idle `thief` shard: scan the
+/// siblings (starting just past the thief, so thieves spread over
+/// victims) and take up to `max_batch` of the oldest requests from the
+/// first one with a backlog. Returns `None` when no sibling is hot.
+fn steal_batch(core: &TenantCore, thief: usize) -> Option<Vec<Pending>> {
+    let n = core.shards.len();
+    for off in 1..n {
+        let victim = (thief + off) % n;
+        let stolen = core.shards[victim].try_steal(core.config.policy.max_batch, STEAL_MIN_DEPTH);
+        if !stolen.is_empty() {
+            core.stats.steals.fetch_add(1, Ordering::Relaxed);
+            core.stats
+                .stolen
+                .fetch_add(stolen.len() as u64, Ordering::Relaxed);
+            if urcl_trace::enabled() {
+                urcl_trace::counter_inc("serve.steals");
+                urcl_trace::counter_add("serve.stolen_requests", stolen.len() as u64);
+                urcl_trace::counter_inc(&format!("serve.tenant.{}.steals", core.name));
+                urcl_trace::counter_add(
+                    &format!("serve.tenant.{}.stolen_requests", core.name),
+                    stolen.len() as u64,
+                );
+            }
+            return Some(stolen);
+        }
+    }
+    None
+}
+
+/// The per-shard worker: batch under the policy, forward, reply — and,
+/// when its own queue is empty, steal a hot sibling's backlog instead of
+/// sleeping ([`steal_batch`]).
 fn worker_loop(core: &TenantCore, shard_idx: usize) {
     let shard = &core.shards[shard_idx];
-    loop {
+    let stealing = core.config.steal && core.shards.len() > 1;
+    'serve: loop {
         let batch = {
             let mut st = shard.lock();
             // Idle: wait for a request; exit only on "draining AND
-            // empty", both observed under the lock.
+            // empty", both observed under the lock. Between waits, an
+            // empty queue is an invitation to steal: the lock is dropped,
+            // a hot sibling is drained, and the stolen batch runs here.
             loop {
                 if !st.queue.is_empty() {
                     break;
                 }
-                if st.draining {
+                let draining = st.draining;
+                if stealing {
+                    drop(st);
+                    if let Some(stolen) = steal_batch(core, shard_idx) {
+                        run_batch(core, stolen);
+                        continue 'serve;
+                    }
+                    st = shard.lock();
+                    if !st.queue.is_empty() {
+                        break;
+                    }
+                    // Safe even if siblings still hold work below the
+                    // steal threshold: every queue is drained by its own
+                    // worker before that worker exits — stealing is pure
+                    // acceleration, never a responsibility transfer.
+                    if st.draining {
+                        return;
+                    }
+                } else if draining {
                     return;
                 }
                 st = shard
@@ -342,7 +429,11 @@ fn worker_loop(core: &TenantCore, shard_idx: usize) {
             }
             batch
         };
-        run_batch(core, batch);
+        // A thief can empty this queue while the coalescing wait holds no
+        // lock; an empty batch just means the work is running elsewhere.
+        if !batch.is_empty() {
+            run_batch(core, batch);
+        }
     }
 }
 
@@ -444,7 +535,30 @@ impl TenantClient {
     /// Enqueues one `[M, N, C]` physical-unit window; see
     /// [`crate::Server::submit`].
     pub fn submit(&self, window: Tensor) -> Result<PendingForecast, ServeError> {
-        self.core.submit(window)
+        self.core.submit(window, Route::Sweep)
+    }
+
+    /// Enqueues one window with **strict shard affinity**: only shard
+    /// `key % shards` is probed, with no spillover to siblings. Requests
+    /// sharing a key therefore serialize through one queue (useful for
+    /// per-sensor or per-upstream locality), at the price that an
+    /// overloaded keyed shard sheds with [`ServeError::Shed`] even while
+    /// sibling queues have room. With [`crate::ServeConfig::steal`]
+    /// enabled (the default), idle sibling workers drain the hot keyed
+    /// queue from the consumption side instead, which restores most of
+    /// the lost capacity — the steal-duel cell in `bench_serve` measures
+    /// exactly this.
+    pub fn submit_affine(
+        &self,
+        key: u64,
+        window: Tensor,
+    ) -> Result<PendingForecast, ServeError> {
+        self.core.submit(window, Route::Affine(key))
+    }
+
+    /// [`TenantClient::submit_affine`] followed by a blocking wait.
+    pub fn predict_affine(&self, key: u64, window: &Tensor) -> Result<Forecast, ServeError> {
+        self.submit_affine(key, window.clone())?.wait()
     }
 
     /// Submits one window and blocks for its forecast.

@@ -68,6 +68,16 @@ timeout 600 cargo test -q --offline --release -p urcl-serve \
   --test shard_stress --test swap_under_load \
   --test router_props --test drain_interleavings
 
+echo "== serve network front-end + work stealing (release) =="
+# http_wire binds a real listener on an ephemeral port and drives it
+# over TCP: forecast parity, the typed 4xx/5xx mapping, slowloris/
+# truncation/oversize edges, keep-alive pipelining, a killed client
+# mid-response, and graceful drain under load inside a 10 s budget.
+# steal pins bitwise parity and the strictly-fewer-sheds duel with
+# cross-shard work stealing enabled.
+timeout 600 cargo test -q --offline --release -p urcl-serve \
+  --test http_wire --test steal
+
 if [[ "$FULL" == 1 ]]; then
   echo "== full-size integration tests (ignored set) =="
   cargo test -q --offline --test end_to_end --test backbones -- --ignored
