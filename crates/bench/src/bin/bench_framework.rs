@@ -13,7 +13,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 use urcl_bench::{run_deep_model, write_results, ExperimentContext, ModelKind};
-use urcl_core::{rmir_sample, st_mixup, Augmentation, ReplayBuffer, TrainerConfig};
+use urcl_core::{rmir_sample, st_mixup, Augmentation, ReplayBuffer, RmirPlans, TrainerConfig};
 use urcl_graph::{random_geometric, SensorNetwork, SupportSet};
 use urcl_json::{ToJson, Value};
 use urcl_models::{Backbone, GraphWaveNet, GwnConfig};
@@ -239,9 +239,18 @@ fn main() {
         }
         let current = make_batch(&mut rng, 8);
         let pool: Vec<usize> = (0..48).collect();
+        let mut rmir_plans = RmirPlans::default();
         results.push(bench("rmir_sample_pool48_b8", min_secs, || {
             black_box(rmir_sample(
-                &buffer, &pool, &current, &model, &store, 3e-3, 24, 8,
+                &buffer,
+                &pool,
+                &current,
+                &model,
+                &store,
+                3e-3,
+                24,
+                8,
+                &mut rmir_plans,
             ));
         }));
     }

@@ -13,9 +13,14 @@
 //! interpreter↔plan parity check on top of `plan_parity.rs`. With pooling
 //! on it also reports the steady-state pool miss count (expected: zero —
 //! every buffer shape the step needs is cached during warmup). The plan
-//! cells compile one `ExecPlan` up front and replay it every step; the
-//! plan gate requires ≥ 1.15× over the pooled+simd interpreter cell at
-//! both thread counts.
+//! cells compile one batch-polymorphic `ExecPlan` up front and replay it
+//! every step; the plan gate requires ≥ 1.15× over the pooled+simd
+//! interpreter cell at both thread counts. The same bar applies to the
+//! paper-default (SSL + STA on) `ssl_duel` cells, where every
+//! augmentation draw rebinds to one compiled plan's promoted input slots,
+//! and a `poly_batch_check` cycles batch sizes through one plan asserting
+//! zero recompiles. The artifact carries the `urcl-bench-train-v5`
+//! schema, re-gated offline by `validate_json`.
 //!
 //! Thread-scaling acceptance is host-aware: on a host with ≥ 4 physical
 //! cores the 4-thread SIMD cell must beat the 1-thread SIMD cell by
@@ -31,29 +36,37 @@
 //! breakdown for profiling.
 
 use std::time::Instant;
-use urcl_graph::random_geometric;
+use urcl_core::{Augmentation, AugmentedView, StSimSiam};
+use urcl_graph::{random_geometric, SupportSet};
 use urcl_json::Value;
 use urcl_models::{Backbone, GraphWaveNet, GwnConfig};
 use urcl_stdata::{stack_samples, Batch, Sample};
 use urcl_tensor::autodiff::{Session, Tape};
 use urcl_tensor::{
-    buffer_pool_stats, op_profile, reset_buffer_pool_stats, reset_op_profile, set_pooling,
-    set_simd, set_threads, Adam, ExecPlan, Optimizer, ParamStore, PlanSpec, Rng,
+    buffer_pool_stats, op_profile, plan_stats, reset_buffer_pool_stats, reset_op_profile,
+    set_pooling, set_simd, set_threads, Adam, ExecPlan, Optimizer, ParamStore, PlanSpec,
+    PolySpec, Rng, Tensor,
 };
 
 const NODES: usize = 24;
 const STEPS: usize = 12;
 const CHANNELS: usize = 2;
 const BATCH: usize = 8;
+const SSL_WEIGHT: f32 = 0.05;
+const K_DIFFUSION: usize = 2;
 
-fn make_batch(rng: &mut Rng) -> Batch {
-    let samples: Vec<Sample> = (0..BATCH)
+fn make_batch_of(rng: &mut Rng, b: usize) -> Batch {
+    let samples: Vec<Sample> = (0..b)
         .map(|_| Sample {
             x: rng.uniform_tensor(&[STEPS, NODES, CHANNELS], 0.0, 1.0),
             y: rng.uniform_tensor(&[1, NODES], 0.0, 1.0),
         })
         .collect();
     stack_samples(&samples)
+}
+
+fn make_batch(rng: &mut Rng) -> Batch {
+    make_batch_of(rng, BATCH)
 }
 
 /// One full optimisation step; returns the scalar loss.
@@ -87,23 +100,45 @@ fn train_step(model: &GraphWaveNet, store: &mut ParamStore, opt: &mut Adam, batc
     loss_val
 }
 
-/// Records one training tape for the model at the bench's fixed batch
-/// shape and compiles it into a reusable plan. Parameter values are read
-/// from the store at replay time, so compiling before training is fine.
+/// Records one training tape for the model and compiles it into a
+/// reusable batch-polymorphic plan: the step is recorded a second time
+/// over zero proxies one batch larger, and the compiler abstracts the
+/// batch dim from the pair. Parameter values are read from the store at
+/// replay time, so compiling before training is fine.
 fn compile_plan(model: &GraphWaveNet, store: &ParamStore, batch: &Batch) -> ExecPlan {
-    let tape = Tape::new();
-    let mut sess = Session::new(&tape, store);
-    let x = sess.input(batch.x.clone());
-    let y = sess.input(batch.y.clone());
-    let loss = model.forward(&mut sess, x).sub(y).abs().mean_all();
-    let binds = sess.into_bindings();
+    let record = |x: &Tensor, y: &Tensor| {
+        let tape = Tape::new();
+        let (root, inputs, binds);
+        {
+            let mut sess = Session::new(&tape, store);
+            let xv = sess.input(x.clone());
+            let yv = sess.input(y.clone());
+            let loss = model.forward(&mut sess, xv).sub(yv).abs().mean_all();
+            root = loss.index();
+            inputs = vec![xv.index(), yv.index()];
+            binds = sess.into_bindings();
+        }
+        (tape, root, inputs, binds)
+    };
+    let (tape0, root, inputs, binds) = record(&batch.x, &batch.y);
+    let b0 = batch.x.shape()[0];
+    let mut xs = batch.x.shape().to_vec();
+    let mut ys = batch.y.shape().to_vec();
+    xs[0] = b0 + 1;
+    ys[0] = b0 + 1;
+    let (tape1, _, _, _) = record(&Tensor::zeros(&xs), &Tensor::zeros(&ys));
     ExecPlan::compile(
-        &tape,
+        &tape0,
         &PlanSpec {
-            root: Some(loss.index()),
-            inputs: &[x.index(), y.index()],
+            root: Some(root),
+            inputs: &inputs,
             outputs: &[],
             bindings: &binds,
+            poly: Some(PolySpec {
+                tape: &tape1,
+                batch0: b0,
+                batch1: b0 + 1,
+            }),
         },
     )
 }
@@ -276,6 +311,295 @@ fn plan_duel(threads: usize, warmup: usize, timed: usize) -> (f64, f64) {
     (timed as f64 / best_interp, timed as f64 / best_plan)
 }
 
+/// One recorded paper-default step graph (task MAE + weighted GraphCL
+/// term over two augmented views) plus the plan-compile ingredients:
+/// replayable inputs `[x, y, x1, x2]` followed by every promoted SSL
+/// slot (contrastive masks, per-view per-layer graph supports).
+struct RecordedSsl {
+    tape: Tape,
+    root: usize,
+    inputs: Vec<usize>,
+    binds: Vec<(urcl_tensor::ParamId, usize)>,
+    view_slots: usize,
+}
+
+fn record_ssl_step(
+    model: &GraphWaveNet,
+    simsiam: &StSimSiam,
+    store: &ParamStore,
+    x: &Tensor,
+    y: &Tensor,
+    v1: &AugmentedView,
+    v2: &AugmentedView,
+) -> RecordedSsl {
+    let tape = Tape::new();
+    let (root, inputs, binds, view_slots);
+    {
+        let mut sess = Session::new(&tape, store);
+        let xv = sess.input(x.clone());
+        let yv = sess.input(y.clone());
+        let x1 = sess.input(v1.x.clone());
+        let x2 = sess.input(v2.x.clone());
+        let mut ins = vec![xv.index(), yv.index(), x1.index(), x2.index()];
+        let task = model.forward(&mut sess, xv).sub(yv).abs().mean_all();
+        let ssl = simsiam.loss_from_vars(
+            &mut sess,
+            model,
+            x1,
+            v1.supports.as_ref(),
+            x2,
+            v2.supports.as_ref(),
+        );
+        let total = task.add(ssl.scale(SSL_WEIGHT));
+        ins.extend(sess.slot_nodes("ssl.eye"));
+        ins.extend(sess.slot_nodes("ssl.off_mask"));
+        let s1 = sess.slot_nodes_prefix("ssl.v1.");
+        let s2 = sess.slot_nodes_prefix("ssl.v2.");
+        assert_eq!(s1.len(), s2.len(), "view support slot counts differ");
+        view_slots = s1.len();
+        ins.extend(s1);
+        ins.extend(s2);
+        root = total.index();
+        inputs = ins;
+        binds = sess.into_bindings();
+    }
+    RecordedSsl {
+        tape,
+        root,
+        inputs,
+        binds,
+        view_slots,
+    }
+}
+
+/// Interpreter arm of the SSL duel: re-records the augmented step every
+/// iteration, evaluates the loss and backpropagates. No optimizer update,
+/// so parameters stay fixed and per-iteration losses are bitwise
+/// comparable across arms.
+fn interp_ssl_step(
+    model: &GraphWaveNet,
+    simsiam: &StSimSiam,
+    store: &mut ParamStore,
+    batch: &Batch,
+    v1: &AugmentedView,
+    v2: &AugmentedView,
+) -> f32 {
+    store.zero_grads();
+    let tape = Tape::new();
+    let mut sess = Session::new(&tape, store);
+    let x = sess.input(batch.x.clone());
+    let y = sess.input(batch.y.clone());
+    let x1 = sess.input(v1.x.clone());
+    let x2 = sess.input(v2.x.clone());
+    let task = model.forward(&mut sess, x).sub(y).abs().mean_all();
+    let ssl = simsiam.loss_from_vars(
+        &mut sess,
+        model,
+        x1,
+        v1.supports.as_ref(),
+        x2,
+        v2.supports.as_ref(),
+    );
+    let total = task.add(ssl.scale(SSL_WEIGHT));
+    let loss_val = tape.value(total).item();
+    let grads = tape.backward(total);
+    let binds = sess.into_bindings();
+    store.accumulate_grads(&binds, &grads);
+    loss_val
+}
+
+/// Plan arm: rebinds the current batch, views, masks and supports to the
+/// compiled plan's promoted input slots and replays.
+fn plan_ssl_step(plan: &ExecPlan, store: &mut ParamStore, refs: &[&Tensor]) -> f32 {
+    store.zero_grads();
+    let (loss, grads) = plan.run_training(store, refs);
+    store.accumulate_grads(plan.bindings(), &grads);
+    loss.item()
+}
+
+/// Replay bindings for the compiled SSL plan, mirroring the trainer's
+/// promotion order: `[x, y, x1, x2, eye, off_mask, view-1 supports…,
+/// view-2 supports…]`. Views without their own supports (feature-only
+/// augmentations) bind the backbone's live support set.
+fn ssl_refs<'a>(
+    batch: &'a Batch,
+    v1: &'a AugmentedView,
+    v2: &'a AugmentedView,
+    eye: &'a Tensor,
+    off: &'a Tensor,
+    view_slots: usize,
+    template: Option<&'a SupportSet>,
+) -> Vec<&'a Tensor> {
+    let mut refs = vec![&batch.x, &batch.y, &v1.x, &v2.x, eye, off];
+    for v in [v1, v2] {
+        let set = v
+            .supports
+            .as_ref()
+            .or(template)
+            .expect("backbone exposes no support template");
+        let sup = set.all();
+        for j in 0..view_slots {
+            refs.push(sup[j % sup.len()]);
+        }
+    }
+    refs
+}
+
+/// Paper-default duel: the full augmented-SSL training step (SSL + STA
+/// on) measured as paired interpreter-vs-plan rounds, exactly like
+/// [`plan_duel`] but over the graph the URCL trainer actually runs with
+/// its default config. Both arms consume the same pre-drawn augmentation
+/// views, and the plan arm rebinds each draw's supports and masks to the
+/// promoted input slots of ONE compiled plan — the tentpole claim. Every
+/// draw position is first checked for bitwise loss identity between the
+/// arms (parameters are never updated, so losses are directly
+/// comparable).
+fn ssl_duel(threads: usize, timed: usize) -> (f64, f64) {
+    set_threads(threads);
+    set_pooling(true);
+    set_simd(true);
+    let mut net_rng = Rng::seed_from_u64(23);
+    let net = random_geometric(NODES, 0.3, &mut net_rng);
+    let mk = || {
+        let mut rng = Rng::seed_from_u64(29);
+        let mut store = ParamStore::new();
+        let cfg = GwnConfig::small(NODES, CHANNELS, STEPS, 1);
+        let latent = cfg.base.latent;
+        let model = GraphWaveNet::new(&mut store, &mut rng, &net, cfg);
+        let simsiam = StSimSiam::new(&mut store, &mut rng, latent, latent, 0.5);
+        let batches: Vec<Batch> = (0..4).map(|_| make_batch(&mut rng)).collect();
+        (store, model, simsiam, batches)
+    };
+    let (mut s0, m0, sim0, b0) = mk();
+    let (mut s1, m1, sim1, b1) = mk();
+    // Shared augmentation schedule: 8 draws cycling over the 4 batches
+    // (draw i pairs with batch i % 4), identical for both arms.
+    let mut aug_rng = Rng::seed_from_u64(101);
+    let draws: Vec<(AugmentedView, AugmentedView)> = (0..8)
+        .map(|i| {
+            let (a1, a2) = Augmentation::sample_two(&mut aug_rng);
+            let x = &b0[i % b0.len()].x;
+            (
+                a1.apply(x, &net, K_DIFFUSION, &mut aug_rng),
+                a2.apply(x, &net, K_DIFFUSION, &mut aug_rng),
+            )
+        })
+        .collect();
+
+    // Compile once, batch-polymorphically, from the first draw; every
+    // later draw replays through the same plan via slot rebinding.
+    let rec0 = record_ssl_step(&m1, &sim1, &s1, &b1[0].x, &b1[0].y, &draws[0].0, &draws[0].1);
+    let mut xs = b1[0].x.shape().to_vec();
+    let mut ys = b1[0].y.shape().to_vec();
+    xs[0] = BATCH + 1;
+    ys[0] = BATCH + 1;
+    let rec1 = record_ssl_step(
+        &m1,
+        &sim1,
+        &s1,
+        &Tensor::zeros(&xs),
+        &Tensor::zeros(&ys),
+        &draws[0].0.shape_proxy(BATCH + 1),
+        &draws[0].1.shape_proxy(BATCH + 1),
+    );
+    let plan = ExecPlan::compile(
+        &rec0.tape,
+        &PlanSpec {
+            root: Some(rec0.root),
+            inputs: &rec0.inputs,
+            outputs: &[],
+            bindings: &rec0.binds,
+            poly: Some(PolySpec {
+                tape: &rec1.tape,
+                batch0: BATCH,
+                batch1: BATCH + 1,
+            }),
+        },
+    );
+    let view_slots = rec0.view_slots;
+    let (eye, off) = StSimSiam::contrastive_masks(BATCH);
+    let template = m1.support_template();
+
+    // Bitwise parity across every draw position (doubles as warmup).
+    for (i, (v1, v2)) in draws.iter().enumerate() {
+        let bi = i % b0.len();
+        let li = interp_ssl_step(&m0, &sim0, &mut s0, &b0[bi], v1, v2);
+        let refs = ssl_refs(&b1[bi], v1, v2, &eye, &off, view_slots, template);
+        let lp = plan_ssl_step(&plan, &mut s1, &refs);
+        assert_eq!(
+            li.to_bits(),
+            lp.to_bits(),
+            "ssl duel loss diverged from interpreter at draw {i}"
+        );
+    }
+
+    let rounds = 6;
+    let (mut best_interp, mut best_plan) = (f64::INFINITY, f64::INFINITY);
+    for round in 0..rounds {
+        let t0 = Instant::now();
+        for i in 0..timed {
+            let it = round * timed + i;
+            let (v1, v2) = &draws[it % draws.len()];
+            interp_ssl_step(&m0, &sim0, &mut s0, &b0[it % b0.len()], v1, v2);
+        }
+        best_interp = best_interp.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        for i in 0..timed {
+            let it = round * timed + i;
+            let (v1, v2) = &draws[it % draws.len()];
+            let refs = ssl_refs(&b1[it % b1.len()], v1, v2, &eye, &off, view_slots, template);
+            plan_ssl_step(&plan, &mut s1, &refs);
+        }
+        best_plan = best_plan.min(t0.elapsed().as_secs_f64());
+    }
+    (timed as f64 / best_interp, timed as f64 / best_plan)
+}
+
+/// Cycles batch sizes through ONE batch-polymorphic plan: the compile
+/// count must stay flat (no per-shape recompiles) and every size must
+/// reproduce the interpreter's loss bitwise. Returns the number of sizes
+/// exercised, recorded in the JSON artifact.
+fn poly_batch_check() -> u64 {
+    set_threads(1);
+    set_pooling(true);
+    set_simd(true);
+    let mut rng = Rng::seed_from_u64(23);
+    let net = random_geometric(NODES, 0.3, &mut rng);
+    let mut store = ParamStore::new();
+    let cfg = GwnConfig::small(NODES, CHANNELS, STEPS, 1);
+    let model = GraphWaveNet::new(&mut store, &mut rng, &net, cfg);
+    let seed_batch = make_batch(&mut rng);
+    let plan = compile_plan(&model, &store, &seed_batch);
+    assert!(
+        plan.is_poly(),
+        "task-step plan failed to compile batch-polymorphically"
+    );
+    let compiles_before = plan_stats().compiles;
+    let sizes = [BATCH, 5, 3, 1, 6, BATCH];
+    for &b in &sizes {
+        let batch = make_batch_of(&mut rng, b);
+        assert!(
+            plan.accepts(&[&batch.x, &batch.y]),
+            "poly plan rejected batch size {b}"
+        );
+        store.zero_grads();
+        let (loss, _) = plan.run_training(&store, &[&batch.x, &batch.y]);
+        let tape = Tape::new();
+        let mut sess = Session::new(&tape, &store);
+        let x = sess.input(batch.x.clone());
+        let y = sess.input(batch.y.clone());
+        let l = model.forward(&mut sess, x).sub(y).abs().mean_all();
+        assert_eq!(
+            loss.item().to_bits(),
+            tape.value(l).item().to_bits(),
+            "poly replay diverged from interpreter at batch {b}"
+        );
+    }
+    let extra = plan_stats().compiles - compiles_before;
+    assert_eq!(extra, 0, "batch cycling triggered {extra} recompiles");
+    sizes.len() as u64
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (warmup, timed) = if quick { (2, 4) } else { (3, 16) };
@@ -304,6 +628,9 @@ fn main() {
     .collect();
     let (duel_interp_1t, duel_plan_1t) = plan_duel(1, warmup, timed);
     let (duel_interp_4t, duel_plan_4t) = plan_duel(4, warmup, timed);
+    let (ssl_interp_1t, ssl_plan_1t) = ssl_duel(1, timed);
+    let (ssl_interp_4t, ssl_plan_4t) = ssl_duel(4, timed);
+    let poly_sizes_checked = poly_batch_check();
     set_threads(prev_threads);
     set_pooling(prev_pool);
     set_simd(prev_simd);
@@ -381,6 +708,30 @@ fn main() {
         plan_speedup_4t >= 1.15,
         "compiled plan must deliver >= 1.15x at 4 threads, got {plan_speedup_4t:.2}x"
     );
+    // Paper-default plan gate: the same ≥ 1.15× bar over the full
+    // augmented-SSL step, where every draw replays through one compiled
+    // plan via promoted input slots (supports + contrastive masks).
+    let ssl_speedup_1t = ssl_plan_1t / ssl_interp_1t;
+    let ssl_speedup_4t = ssl_plan_4t / ssl_interp_4t;
+    println!(
+        "ssl duel (paper default, paired rounds): 1t interp {ssl_interp_1t:.2} vs plan \
+         {ssl_plan_1t:.2}, 4t interp {ssl_interp_4t:.2} vs plan {ssl_plan_4t:.2} steps/s"
+    );
+    println!(
+        "ssl plan speedup over interpreter: {ssl_speedup_1t:.2}x at 1 thread, \
+         {ssl_speedup_4t:.2}x at 4 threads (required: 1.15x at both)"
+    );
+    assert!(
+        ssl_speedup_1t >= 1.15,
+        "augmented-SSL plan must deliver >= 1.15x at 1 thread, got {ssl_speedup_1t:.2}x"
+    );
+    assert!(
+        ssl_speedup_4t >= 1.15,
+        "augmented-SSL plan must deliver >= 1.15x at 4 threads, got {ssl_speedup_4t:.2}x"
+    );
+    println!(
+        "poly batch check: one plan served {poly_sizes_checked} batch sizes, zero recompiles"
+    );
     // Thread-scaling gate, host-aware (see module docs): the 4-thread
     // curve must rise on real multi-core hardware and must at least stay
     // flat (no dispatch-overhead cliff) when the host cannot provide
@@ -406,6 +757,7 @@ fn main() {
     }
 
     let doc = Value::object()
+        .with("schema", "urcl-bench-train-v5")
         .with("benchmark", "train_step")
         .with("model", "graph_wavenet_small")
         .with("batch", BATCH)
@@ -433,6 +785,23 @@ fn main() {
                         .with("interp_steps_per_sec_4t", duel_interp_4t)
                         .with("plan_steps_per_sec_4t", duel_plan_4t),
                 )
+                .with("ssl_plan_speedup_1t", ssl_speedup_1t)
+                .with("ssl_plan_speedup_4t", ssl_speedup_4t)
+                .with(
+                    "ssl_duel",
+                    Value::object()
+                        .with("interp_steps_per_sec_1t", ssl_interp_1t)
+                        .with("plan_steps_per_sec_1t", ssl_plan_1t)
+                        .with("interp_steps_per_sec_4t", ssl_interp_4t)
+                        .with("plan_steps_per_sec_4t", ssl_plan_4t),
+                )
+                // The asserts above already aborted the run if any of
+                // these failed; recorded so validate_json can re-gate the
+                // artifact offline.
+                .with("bitwise_identical_cells", true)
+                .with("ssl_bitwise_identical", true)
+                .with("poly_batch_sizes_checked", poly_sizes_checked as f64)
+                .with("poly_recompiles", 0.0)
                 .with("thread_scaling_4t_over_1t", thread_scaling)
                 .with(
                     "thread_scaling_required",

@@ -22,6 +22,7 @@ fn validate(path: &str) -> Result<(), String> {
         Some(s) if s == urcl_trace::SCHEMA => validate_trace(&value)?,
         Some("urcl-bench-serve-v2") => validate_serve(&value, false)?,
         Some("urcl-bench-serve-v3") => validate_serve(&value, true)?,
+        Some("urcl-bench-train-v5") => validate_train_v5(&value)?,
         _ => {}
     }
     Ok(())
@@ -156,6 +157,96 @@ fn validate_serve_v3(doc: &Value, cells: &[Value]) -> Result<(), String> {
     Ok(())
 }
 
+/// Structural checks and offline re-gating for `urcl-bench-train-v5`
+/// (the train-step sweep): every cell carries its configuration axes and
+/// a positive throughput, both plan duels (task-only and the
+/// paper-default augmented-SSL step) clear the 1.15× floor at both
+/// thread counts, bitwise-identity booleans are recorded true, and the
+/// batch-polymorphism check saw one plan serve several batch sizes with
+/// zero recompiles.
+fn validate_train_v5(doc: &Value) -> Result<(), String> {
+    let cells = doc
+        .get("cells")
+        .and_then(Value::as_array)
+        .ok_or("train key \"cells\" missing or not an array")?;
+    if cells.is_empty() {
+        return Err("train \"cells\" is empty".into());
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        for key in ["threads", "pooling", "simd", "plan"] {
+            if cell.get(key).is_none() {
+                return Err(format!("train cell {i} missing {key:?}"));
+            }
+        }
+        match cell.get("steps_per_sec").and_then(Value::as_f64) {
+            Some(v) if v > 0.0 => {}
+            other => {
+                return Err(format!(
+                    "train cell {i} \"steps_per_sec\" missing or non-positive: {other:?}"
+                ))
+            }
+        }
+    }
+    let acc = doc
+        .get("acceptance")
+        .ok_or("train key \"acceptance\" missing")?;
+    for key in [
+        "plan_speedup_1t",
+        "plan_speedup_4t",
+        "ssl_plan_speedup_1t",
+        "ssl_plan_speedup_4t",
+    ] {
+        match acc.get(key).and_then(Value::as_f64) {
+            Some(v) if v >= 1.15 => {}
+            Some(v) => {
+                return Err(format!("train gate {key:?} under the 1.15x floor: {v:.3}x"))
+            }
+            None => return Err(format!("train acceptance missing numeric {key:?}")),
+        }
+    }
+    for key in ["bitwise_identical_cells", "ssl_bitwise_identical"] {
+        match acc.get(key).and_then(Value::as_bool) {
+            Some(true) => {}
+            Some(false) => return Err(format!("train gate {key:?} recorded false")),
+            None => return Err(format!("train acceptance missing boolean {key:?}")),
+        }
+    }
+    for duel in ["plan_duel", "ssl_duel"] {
+        let d = acc
+            .get(duel)
+            .ok_or_else(|| format!("train acceptance missing {duel:?}"))?;
+        for key in [
+            "interp_steps_per_sec_1t",
+            "plan_steps_per_sec_1t",
+            "interp_steps_per_sec_4t",
+            "plan_steps_per_sec_4t",
+        ] {
+            match d.get(key).and_then(Value::as_f64) {
+                Some(v) if v > 0.0 => {}
+                other => {
+                    return Err(format!(
+                        "train {duel} {key:?} missing or non-positive: {other:?}"
+                    ))
+                }
+            }
+        }
+    }
+    match acc.get("poly_batch_sizes_checked").and_then(Value::as_f64) {
+        Some(v) if v >= 2.0 => {}
+        other => {
+            return Err(format!(
+                "train \"poly_batch_sizes_checked\" missing or under 2: {other:?}"
+            ))
+        }
+    }
+    match acc.get("poly_recompiles").and_then(Value::as_f64) {
+        Some(0.0) => {}
+        Some(v) => return Err(format!("batch cycling recompiled {v} times")),
+        None => return Err("train acceptance missing \"poly_recompiles\"".into()),
+    }
+    Ok(())
+}
+
 /// Structural checks for a `urcl-trace-v1` document: all top-level
 /// sections present with the right JSON types, and every span entry
 /// carrying count/total/mean.
@@ -230,9 +321,10 @@ fn validate_trace(doc: &Value) -> Result<(), String> {
         }
     }
     // Plan-engine telemetry: the execution-plan compiler/replayer counts
-    // compiles, replays and the per-replay savings (fused stages, dead
-    // gradient edges skipped, buffer moves, mid-replay drops). All must
-    // be present, numeric and non-negative.
+    // compiles, replays, the per-replay savings (fused stages, dead
+    // gradient edges skipped, buffer moves, mid-replay drops) and the
+    // trainer's bounded plan-cache occupancy/evictions. All must be
+    // present, numeric and non-negative.
     let plan = doc.get("plan").expect("checked above");
     for key in [
         "compiles",
@@ -241,6 +333,8 @@ fn validate_trace(doc: &Value) -> Result<(), String> {
         "dead_edges_skipped",
         "buffer_moves",
         "values_dropped",
+        "cache_entries",
+        "cache_evictions",
     ] {
         match plan.get(key).and_then(Value::as_f64) {
             Some(v) if v >= 0.0 => {}

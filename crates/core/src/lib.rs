@@ -46,7 +46,7 @@ pub use persist::{
 };
 pub use pipeline::UrclPipeline;
 pub use replay::ReplayBuffer;
-pub use rmir::{rmir_sample, RmirStats};
+pub use rmir::{rmir_sample, RmirPlans, RmirStats};
 pub use simsiam::StSimSiam;
 pub use timing::Stopwatch;
 pub use trainer::{

@@ -79,14 +79,27 @@ impl StSimSiam {
         )
     }
 
+    /// The batch-size-dependent contrastive constants: `(eye, off_mask)`
+    /// for `s` samples. Exposed so the trainer can bind the same tensors
+    /// to a compiled plan's promoted `ssl.eye` / `ssl.off_mask` input
+    /// slots that this module registers at record time — both sides call
+    /// this one helper, keeping record and replay bitwise-identical.
+    pub fn contrastive_masks(s: usize) -> (Tensor, Tensor) {
+        let eye = Tensor::eye(s);
+        let off = eye.map(|v| 1.0 - v);
+        (eye, off)
+    }
+
     /// [`Self::loss`] over already-registered view variables. Exposing the
     /// view inputs lets the trainer record this graph once and compile it
-    /// into an `ExecPlan` that substitutes fresh view tensors per replay;
-    /// the `eye`/`off_mask` constants depend only on the batch size and
-    /// are captured by the plan. Perturbed `supports` embed as captured
-    /// constants too, so plan callers must only cache graphs whose
-    /// supports are fixed (the trainer falls back to the interpreter when
-    /// augmentation randomizes them).
+    /// into an `ExecPlan` that substitutes fresh view tensors per replay.
+    /// Everything that varies per augmentation draw is registered as a
+    /// named input slot: the view encodes run under the `ssl.v1` / `ssl.v2`
+    /// scopes (so their per-layer `support` slots become `ssl.v1.support`,
+    /// …), and the batch-size constants register as `ssl.eye` /
+    /// `ssl.off_mask`. The trainer promotes these slots to plan inputs and
+    /// rebinds fresh supports and masks at replay, so one compiled plan
+    /// serves every draw instead of falling back to the interpreter.
     pub fn loss_from_vars<'t>(
         &self,
         sess: &mut Session<'t, '_>,
@@ -96,8 +109,12 @@ impl StSimSiam {
         x2: Var<'t>,
         supports2: Option<&SupportSet>,
     ) -> Var<'t> {
+        sess.push_scope("ssl.v1");
         let z1 = Self::pool(backbone.encode_perturbed(sess, x1, supports1));
+        sess.pop_scope();
+        sess.push_scope("ssl.v2");
         let z2 = Self::pool(backbone.encode_perturbed(sess, x2, supports2));
+        sess.pop_scope();
         let p1 = self.projector.forward(sess, z1);
         let p2 = self.projector.forward(sess, z2);
 
@@ -113,13 +130,14 @@ impl StSimSiam {
         let sims2 = p2n.matmul(z1t.transpose(0, 1));
         let logits = sims1.add(sims2).scale(0.5 / self.tau); // [S, S]
 
-        let eye = sess.input(Tensor::eye(s));
+        let (eye_t, off_t) = Self::contrastive_masks(s);
+        let eye = sess.slot_input("ssl.eye", eye_t);
         let diag = logits.mul(eye).sum_axes(&[1], false); // [S]
         if s == 1 {
             // No negatives: minimise −similarity directly (plain SimSiam).
             return diag.neg().mean_all();
         }
-        let off_mask = sess.input(Tensor::eye(s).map(|v| 1.0 - v));
+        let off_mask = sess.slot_input("ssl.off_mask", off_t);
         let denom = logits.exp().mul(off_mask).sum_axes(&[1], false); // [S]
         denom.ln().sub(diag).mean_all()
     }

@@ -16,7 +16,7 @@ use crate::ewc::EwcState;
 use crate::metrics::Metrics;
 use crate::mixup::{concat_replay, st_mixup};
 use crate::replay::ReplayBuffer;
-use crate::rmir::{rmir_sample, RmirStats};
+use crate::rmir::{rmir_sample, RmirPlans, RmirStats};
 use crate::simsiam::StSimSiam;
 use crate::timing::Stopwatch;
 use urcl_graph::{SensorNetwork, SupportSet};
@@ -25,7 +25,8 @@ use urcl_models::Backbone;
 use urcl_stdata::{stack_samples, ContinualSplit, DatasetConfig, Sample};
 use urcl_tensor::autodiff::{Session, Tape, Var};
 use urcl_tensor::{
-    plan_enabled, Adam, AdamState, ExecPlan, Optimizer, ParamStore, PlanSpec, Rng, Tensor,
+    note_plan_cache_entries, note_plan_cache_eviction, plan_enabled, trim_excess, Adam, AdamState,
+    ExecPlan, Optimizer, ParamStore, PlanSpec, PolySpec, Rng, Tensor,
 };
 
 /// Training strategy for streaming data (Section V-B1).
@@ -384,17 +385,44 @@ struct StepOutcome {
     replay_inserted: usize,
 }
 
-/// Cache key for compiled training plans. The recorded step graph is a
-/// pure function of these whenever plan replay is attempted (augmentation
-/// — the one structure-randomizing component — forces the interpreter),
-/// so a key hit means the cached plan replays the exact graph this step
-/// would have recorded.
-#[derive(Clone, PartialEq, Eq)]
+/// Cache key for compiled training plans. Batch shapes are deliberately
+/// *absent*: plans compile batch-polymorphic, so one entry per
+/// architecture×config covers every minibatch size the stream produces
+/// (epoch-tail chunks included), and everything that varies per
+/// augmentation draw — view signals, perturbed supports, contrastive
+/// masks — is bound through promoted input slots at replay. The graph
+/// structure is a pure function of these two flags for a fixed backbone.
+#[derive(Clone, Copy, PartialEq, Eq)]
 struct PlanKey {
-    x: Vec<usize>,
-    y: Vec<usize>,
     ssl: bool,
     ewc: bool,
+}
+
+/// One bounded-cache entry: a compiled step plan plus how many per-view
+/// support slots it promoted (0 for support-free backbones).
+struct CachedPlan {
+    key: PlanKey,
+    plan: ExecPlan,
+    view_slots: usize,
+}
+
+/// Bound on the trainer's compiled-plan cache. Poly compiles make one
+/// entry per key the common case; the bound only matters when poly
+/// degrades to mono (then per-shape entries rotate through LRU-style).
+const PLAN_CACHE_CAP: usize = 8;
+
+/// Thread-local buffer-pool budget (f32 slots) enforced at period
+/// boundaries: poly replays at unseen batch sizes retire odd-sized
+/// buffers into the pool, and the quiesce-point trim bounds that residue.
+const POOL_TRIM_BUDGET: usize = 4 << 20;
+
+/// A recorded step graph plus everything a plan compile needs from it.
+struct RecordedStep {
+    tape: Tape,
+    inputs: Vec<usize>,
+    bindings: Vec<(urcl_tensor::ParamId, usize)>,
+    root: usize,
+    view_slots: usize,
 }
 
 /// Drives a backbone through the streaming protocol.
@@ -406,11 +434,17 @@ pub struct ContinualTrainer {
     opt: Adam,
     rmir_stats: RmirStats,
     cursor: TrainCursor,
-    /// Compiled training plans keyed by step-graph structure. Derived
-    /// state: never checkpointed, rebuilt on demand, dropped whenever
-    /// captured constants could go stale (run start, restore, EWC
-    /// re-anchoring).
-    plans: Vec<(PlanKey, ExecPlan)>,
+    /// Compiled training plans, most-recently-used first, bounded at
+    /// [`PLAN_CACHE_CAP`]. Derived state: never checkpointed, rebuilt on
+    /// demand, dropped whenever captured constants could go stale (run
+    /// start, restore, EWC re-anchoring).
+    plans: Vec<CachedPlan>,
+    /// Contrastive mask pairs `(eye, 1 − eye)` per seen batch size, kept
+    /// alive so plan replays can bind them by reference. Pure function of
+    /// the batch size — never stale.
+    masks: Vec<(usize, (Tensor, Tensor))>,
+    /// RMIR's dedicated virtual-update/scoring plans (see `rmir.rs`).
+    rmir_plans: RmirPlans,
 }
 
 impl ContinualTrainer {
@@ -428,6 +462,8 @@ impl ContinualTrainer {
             rmir_stats: RmirStats::default(),
             cursor: TrainCursor::default(),
             plans: Vec::new(),
+            masks: Vec::new(),
+            rmir_plans: RmirPlans::default(),
         }
     }
 
@@ -483,6 +519,8 @@ impl ContinualTrainer {
         self.rmir_stats = snapshot.rmir;
         self.cursor = snapshot.cursor;
         self.plans.clear();
+        self.rmir_plans.clear();
+        note_plan_cache_entries(0);
     }
 
     /// Runs the full streaming protocol over a *normalized* split,
@@ -545,6 +583,8 @@ impl ContinualTrainer {
         self.opt = Adam::new(self.config.lr);
         self.cursor = TrainCursor::default();
         self.plans.clear();
+        self.rmir_plans.clear();
+        note_plan_cache_entries(0);
         self.drive(backbone, simsiam, store, net, split, data_cfg, scale, hook)
     }
 
@@ -703,11 +743,17 @@ impl ContinualTrainer {
                     self.config.ewc_fisher_batches,
                 ));
                 // Cached plans captured the *previous* anchors as
-                // constants; the new penalty needs a fresh compile.
+                // constants; the new penalty needs a fresh compile. (RMIR
+                // plans are task-loss only and stay valid.)
                 self.plans.clear();
+                note_plan_cache_entries(0);
             }
 
             let (metrics, infer_per_obs) = evaluate(backbone, store, &test_windows);
+            // Quiesce point: poly replays at odd batch sizes retire
+            // odd-sized buffers; bound the pool residue before the next
+            // period. Bitwise-neutral — the pool only recycles capacity.
+            trim_excess(POOL_TRIM_BUDGET);
             let (mae, rmse) = metrics.scaled(scale);
             let loss_curve = std::mem::take(&mut self.cursor.loss_curve);
             if urcl_trace::enabled() {
@@ -791,6 +837,117 @@ impl ContinualTrainer {
         total
     }
 
+    /// Records one full step graph over concrete tensors and collects the
+    /// plan-compile ingredients: the replayable input slots `[x, y]`
+    /// (+ `[x1, x2]` with SSL) plus every promoted SSL slot — the
+    /// contrastive masks and each view's per-layer graph supports, in
+    /// recording order. Promotion is what turns the augmentation's
+    /// captured constants into per-replay inputs, so one compiled plan
+    /// serves every draw.
+    fn record_step(
+        &self,
+        backbone: &dyn Backbone,
+        simsiam: Option<&StSimSiam>,
+        store: &ParamStore,
+        x: &Tensor,
+        y: &Tensor,
+        views: Option<(&AugmentedView, &AugmentedView)>,
+    ) -> RecordedStep {
+        let tape = Tape::new();
+        let (root, inputs, bindings, view_slots);
+        {
+            let mut sess = Session::new(&tape, store);
+            let xv = sess.input(x.clone());
+            let yv = sess.input(y.clone());
+            let mut ins = vec![xv.index(), yv.index()];
+            let views_v = views.map(|(v1, v2)| {
+                let x1 = sess.input(v1.x.clone());
+                let x2 = sess.input(v2.x.clone());
+                ins.push(x1.index());
+                ins.push(x2.index());
+                (x1, v1.supports.as_ref(), x2, v2.supports.as_ref())
+            });
+            let total = self.record_loss(backbone, simsiam, store, &mut sess, xv, yv, views_v);
+            let mut slots = 0;
+            if views.is_some() {
+                let eye = sess.slot_nodes("ssl.eye");
+                assert_eq!(eye.len(), 1, "expected exactly one ssl.eye slot");
+                ins.extend(eye);
+                let off = sess.slot_nodes("ssl.off_mask");
+                assert_eq!(
+                    off.len(),
+                    1,
+                    "expected one ssl.off_mask slot (batch ≥ 2 graphs only)"
+                );
+                ins.extend(off);
+                let v1 = sess.slot_nodes_prefix("ssl.v1.");
+                let v2 = sess.slot_nodes_prefix("ssl.v2.");
+                assert_eq!(v1.len(), v2.len(), "view support slot counts differ");
+                slots = v1.len();
+                ins.extend(v1);
+                ins.extend(v2);
+            }
+            root = total.index();
+            inputs = ins;
+            view_slots = slots;
+            bindings = sess.into_bindings();
+        }
+        RecordedStep {
+            tape,
+            inputs,
+            bindings,
+            root,
+            view_slots,
+        }
+    }
+
+    /// Compiles a batch-polymorphic training plan for this step graph:
+    /// the step is recorded twice (at `b` and, over zero-filled shape
+    /// proxies, at `b + 1`) and the compiler abstracts the batch dim from
+    /// the pair. Falls back to a mono plan automatically when the graph
+    /// is not batch-affine.
+    fn compile_step_plan(
+        &self,
+        backbone: &dyn Backbone,
+        simsiam: Option<&StSimSiam>,
+        store: &ParamStore,
+        x: &Tensor,
+        y: &Tensor,
+        views: Option<&(AugmentedView, AugmentedView)>,
+    ) -> (ExecPlan, usize) {
+        let _compile_sp = urcl_trace::span("plan_compile");
+        let rec0 = self.record_step(backbone, simsiam, store, x, y, views.map(|(a, b)| (a, b)));
+        let b0 = x.shape()[0];
+        let mut xs = x.shape().to_vec();
+        let mut ys = y.shape().to_vec();
+        xs[0] = b0 + 1;
+        ys[0] = b0 + 1;
+        let proxies = views.map(|(v1, v2)| (v1.shape_proxy(b0 + 1), v2.shape_proxy(b0 + 1)));
+        let rec1 = self.record_step(
+            backbone,
+            simsiam,
+            store,
+            &Tensor::zeros(&xs),
+            &Tensor::zeros(&ys),
+            proxies.as_ref().map(|(a, b)| (a, b)),
+        );
+        let plan = ExecPlan::compile(
+            &rec0.tape,
+            &PlanSpec {
+                root: Some(rec0.root),
+                inputs: &rec0.inputs,
+                outputs: &[],
+                bindings: &rec0.bindings,
+                poly: Some(PolySpec {
+                    tape: &rec1.tape,
+                    batch0: b0,
+                    batch1: b0 + 1,
+                }),
+            },
+        );
+        (plan, rec0.view_slots)
+    }
+
     /// One optimisation step on a chunk of training windows.
     fn train_step(
         &mut self,
@@ -824,6 +981,7 @@ impl ContinualTrainer {
                     self.config.lr,
                     self.config.rmir_candidates,
                     select,
+                    &mut self.rmir_plans,
                 );
                 rmir_ran = true;
                 self.rmir_stats.record_round(picked.len());
@@ -872,68 +1030,90 @@ impl ContinualTrainer {
 
         // --- Forward, L_all = L_task + L_ssl (Eq. 29), backward. ---
         //
-        // Two bitwise-identical engines run this graph. When its structure
-        // is a pure function of the batch shapes — every component except
-        // the augmentation draw is — the step replays a compiled
-        // `ExecPlan` from the shape-keyed cache (compiling on first
-        // sight). Augmented views randomize the graph per step (different
-        // perturbed supports embed as different captured constants), so
-        // they fall back to re-recording the tape, as does `URCL_PLAN=0`.
-        // RMIR's virtual updates (`rmir.rs`) and one-shot forecasting
-        // (`pipeline.rs`) always interpret: their graphs run once each.
+        // Two bitwise-identical engines run this graph. The compiled
+        // `ExecPlan` path is the default: plans are batch-polymorphic and
+        // bind everything the augmentation randomizes — view signals,
+        // perturbed supports, contrastive masks — through promoted input
+        // slots, so the paper-default step (SSL + STA on) replays one
+        // plan per architecture×config across every draw and batch size.
+        // The interpreter runs under `URCL_PLAN=0` and for the one
+        // structurally different graph: the single-sample SSL loss has no
+        // negatives (no `off_mask` branch), so SSL steps at batch 1
+        // re-record. One-shot forecasting (`pipeline.rs`) always
+        // interprets: its graphs run once each.
         store.zero_grads();
         let ssl_on = ssl_views.is_some();
-        let plannable = plan_enabled() && !(ssl_on && self.config.ablation.augmentation);
+        let batch_len = train_batch.x.shape()[0];
+        let plannable = plan_enabled() && !(ssl_on && batch_len == 1);
         let loss_value = if plannable {
             let key = PlanKey {
-                x: train_batch.x.shape().to_vec(),
-                y: train_batch.y.shape().to_vec(),
                 ssl: ssl_on,
                 ewc: self.config.strategy == Strategy::Ewc && self.ewc.is_some(),
             };
-            if !self.plans.iter().any(|(k, _)| *k == key) {
-                let _compile_sp = urcl_trace::span("plan_compile");
-                let tape = Tape::new();
-                let mut sess = Session::new(&tape, store);
-                let x = sess.input(train_batch.x.clone());
-                let y = sess.input(train_batch.y.clone());
-                let mut input_nodes = vec![x.index(), y.index()];
-                let views = ssl_views.as_ref().map(|(v1, v2)| {
-                    let x1 = sess.input(v1.x.clone());
-                    let x2 = sess.input(v2.x.clone());
-                    input_nodes.push(x1.index());
-                    input_nodes.push(x2.index());
-                    (x1, v1.supports.as_ref(), x2, v2.supports.as_ref())
-                });
-                let total = self.record_loss(backbone, simsiam, store, &mut sess, x, y, views);
-                let binds = sess.into_bindings();
-                let plan = ExecPlan::compile(
-                    &tape,
-                    &PlanSpec {
-                        root: Some(total.index()),
-                        inputs: &input_nodes,
-                        outputs: &[],
-                        bindings: &binds,
-                    },
-                );
-                self.plans.push((key.clone(), plan));
+            if ssl_on && !self.masks.iter().any(|(s, _)| *s == batch_len) {
+                self.masks
+                    .push((batch_len, StSimSiam::contrastive_masks(batch_len)));
             }
-            let (_, plan) = self
-                .plans
-                .iter()
-                .find(|(k, _)| *k == key)
-                .expect("plan compiled above");
+            let template = backbone.support_template();
+            let pos = self.plans.iter().position(|entry| {
+                entry.key == key && {
+                    let refs = step_refs(
+                        &train_batch,
+                        &ssl_views,
+                        entry.view_slots,
+                        template,
+                        &self.masks,
+                    );
+                    entry.plan.accepts(&refs)
+                }
+            });
+            let pos = match pos {
+                Some(p) => p,
+                None => {
+                    let (plan, view_slots) = self.compile_step_plan(
+                        backbone,
+                        simsiam,
+                        store,
+                        &train_batch.x,
+                        &train_batch.y,
+                        ssl_views.as_ref(),
+                    );
+                    self.plans.insert(
+                        0,
+                        CachedPlan {
+                            key,
+                            plan,
+                            view_slots,
+                        },
+                    );
+                    if self.plans.len() > PLAN_CACHE_CAP {
+                        self.plans.pop();
+                        note_plan_cache_eviction();
+                    }
+                    note_plan_cache_entries(self.plans.len() as u64);
+                    0
+                }
+            };
+            if pos != 0 {
+                // LRU: most-recently-used first, so mono-degraded shape
+                // churn evicts the stalest entry.
+                let entry = self.plans.remove(pos);
+                self.plans.insert(0, entry);
+            }
+            let entry = &self.plans[0];
+            let refs = step_refs(
+                &train_batch,
+                &ssl_views,
+                entry.view_slots,
+                template,
+                &self.masks,
+            );
             let plan_sp = urcl_trace::span("plan_exec");
-            let mut refs: Vec<&Tensor> = vec![&train_batch.x, &train_batch.y];
-            if let Some((v1, v2)) = &ssl_views {
-                refs.push(&v1.x);
-                refs.push(&v2.x);
-            }
-            let (loss, grads) = plan.run_training(store, &refs);
+            let (loss, grads) = entry.plan.run_training(store, &refs);
             drop(plan_sp);
             {
                 let _optim_sp = urcl_trace::span("optim");
-                store.accumulate_grads(plan.bindings(), &grads);
+                store.accumulate_grads(entry.plan.bindings(), &grads);
                 store.clip_grad_norm(self.config.clip_norm);
                 self.opt.step(store);
             }
@@ -981,6 +1161,49 @@ impl ContinualTrainer {
     }
 }
 
+/// Builds the positional replay bindings for a cached step plan, in the
+/// promotion order [`ContinualTrainer::record_step`] established:
+/// `[x, y]`, then with SSL `[x1, x2, eye, off_mask, view-1 supports…,
+/// view-2 supports…]`. A view that kept the original graph (temporal
+/// transforms, augmentation off) binds the backbone's construction-time
+/// support template — bitwise what its recording captured. Support slot
+/// `j` of a view binds support `j % len` of its set: slots are recorded
+/// layer-major and every spatial layer diffuses over the same set.
+fn step_refs<'a>(
+    batch: &'a urcl_stdata::Batch,
+    views: &'a Option<(AugmentedView, AugmentedView)>,
+    view_slots: usize,
+    template: Option<&'a SupportSet>,
+    masks: &'a [(usize, (Tensor, Tensor))],
+) -> Vec<&'a Tensor> {
+    let mut refs: Vec<&Tensor> = vec![&batch.x, &batch.y];
+    if let Some((v1, v2)) = views {
+        refs.push(&v1.x);
+        refs.push(&v2.x);
+        let b = batch.x.shape()[0];
+        let (eye, off) = &masks
+            .iter()
+            .find(|(s, _)| *s == b)
+            .expect("contrastive masks cached before plan replay")
+            .1;
+        refs.push(eye);
+        refs.push(off);
+        for view in [v1, v2] {
+            if view_slots == 0 {
+                continue;
+            }
+            let set = view.supports.as_ref().or(template).expect(
+                "backbone registered support slots but exposes no support template",
+            );
+            let sup = set.all();
+            for j in 0..view_slots {
+                refs.push(sup[j % sup.len()]);
+            }
+        }
+    }
+    refs
+}
+
 /// Evenly subsamples a window list down to at most `max` entries.
 fn subsample(windows: &[Sample], max: usize) -> Vec<Sample> {
     if windows.len() <= max {
@@ -1005,35 +1228,53 @@ pub fn evaluate(
     }
     let _eval_sp = urcl_trace::span("eval");
     let mut watch = Stopwatch::new();
-    // Forward-only plan cache. Chunked evaluation sees at most two batch
-    // shapes (full chunks plus one remainder), so each shape compiles
-    // once — outside the stopwatch, which times inference only.
-    let mut plans: Vec<(Vec<usize>, ExecPlan)> = Vec::new();
+    // Forward-only plan cache. The first chunk compiles a
+    // batch-polymorphic plan that also serves the remainder chunk (and
+    // any other batch size); the list only grows if poly compilation
+    // degrades to mono. Compiles happen outside the stopwatch, which
+    // times inference only.
+    let mut plans: Vec<ExecPlan> = Vec::new();
     for chunk in windows.chunks(32) {
         let batch = stack_samples(chunk);
         let pred = if plan_enabled() {
-            let shape = batch.x.shape().to_vec();
-            if !plans.iter().any(|(s, _)| *s == shape) {
+            if !plans.iter().any(|p| p.accepts(&[&batch.x])) {
                 let _compile_sp = urcl_trace::span("plan_compile");
-                let tape = Tape::new();
-                let mut sess = Session::new(&tape, store);
-                let x = sess.input(batch.x.clone());
-                let pred = backbone.forward(&mut sess, x);
-                let binds = sess.into_bindings();
-                let plan = ExecPlan::compile(
-                    &tape,
+                let record = |x: &Tensor| {
+                    let tape = Tape::new();
+                    let (inputs, outputs, binds);
+                    {
+                        let mut sess = Session::new(&tape, store);
+                        let xv = sess.input(x.clone());
+                        let pred = backbone.forward(&mut sess, xv);
+                        inputs = vec![xv.index()];
+                        outputs = vec![pred.index()];
+                        binds = sess.into_bindings();
+                    }
+                    (tape, inputs, outputs, binds)
+                };
+                let (tape0, inputs, outputs, binds) = record(&batch.x);
+                let b0 = batch.x.shape()[0];
+                let mut xs = batch.x.shape().to_vec();
+                xs[0] = b0 + 1;
+                let (tape1, _, _, _) = record(&Tensor::zeros(&xs));
+                plans.push(ExecPlan::compile(
+                    &tape0,
                     &PlanSpec {
                         root: None,
-                        inputs: &[x.index()],
-                        outputs: &[pred.index()],
+                        inputs: &inputs,
+                        outputs: &outputs,
                         bindings: &binds,
+                        poly: Some(PolySpec {
+                            tape: &tape1,
+                            batch0: b0,
+                            batch1: b0 + 1,
+                        }),
                     },
-                );
-                plans.push((shape.clone(), plan));
+                ));
             }
-            let (_, plan) = plans
+            let plan = plans
                 .iter()
-                .find(|(s, _)| *s == shape)
+                .find(|p| p.accepts(&[&batch.x]))
                 .expect("plan compiled above");
             watch.start();
             let pred = plan.run_forward(store, &[&batch.x]).remove(0);

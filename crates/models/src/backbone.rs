@@ -63,6 +63,17 @@ pub trait Backbone {
         self.encode(sess, x)
     }
 
+    /// The construction-time support set every spatial layer diffuses
+    /// over when [`Self::encode_perturbed`] receives no override, or
+    /// `None` when the backbone has no graph supports (or ignores
+    /// overrides). A plan-compiling trainer uses this as the binding
+    /// template for promoted support slots: the contract is that all
+    /// spatial layers share this one set, in layer order, so support
+    /// slot `j` of a view binds `template[j % template.len()]`.
+    fn support_template(&self) -> Option<&SupportSet> {
+        None
+    }
+
     /// STDecoder: `[B, N, F] -> [B, H, N]` predictions of the target
     /// channel.
     fn decode<'t>(&self, sess: &mut Session<'t, '_>, h: Var<'t>) -> Var<'t>;
@@ -124,6 +135,10 @@ impl<B: Backbone + ?Sized> Backbone for Box<B> {
         supports: Option<&SupportSet>,
     ) -> Var<'t> {
         (**self).encode_perturbed(sess, x, supports)
+    }
+
+    fn support_template(&self) -> Option<&SupportSet> {
+        (**self).support_template()
     }
 
     fn decode<'t>(&self, sess: &mut Session<'t, '_>, h: Var<'t>) -> Var<'t> {

@@ -151,6 +151,12 @@ impl Backbone for GraphWaveNet {
         &self.cfg.base
     }
 
+    // Every StLayer's gcn is built from one cloned SupportSet, so the
+    // first layer's supports are the template for all of them.
+    fn support_template(&self) -> Option<&SupportSet> {
+        self.layers.first().map(|l| l.gcn.supports())
+    }
+
     fn encode<'t>(&self, sess: &mut Session<'t, '_>, x: Var<'t>) -> Var<'t> {
         self.encode_perturbed(sess, x, None)
     }

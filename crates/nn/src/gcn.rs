@@ -63,6 +63,13 @@ pub struct DiffusionGcn {
 }
 
 impl DiffusionGcn {
+    /// The construction-time diffusion supports this layer diffuses over
+    /// when no override is passed. Backbones expose these as the support
+    /// template for plan input binding.
+    pub fn supports(&self) -> &SupportSet {
+        &self.supports
+    }
+
     /// Builds the layer. Pass `adaptive = true` to include the learned
     /// adjacency term (requires a separate [`AdaptiveAdjacency`] whose
     /// matrix is handed to [`Self::forward`]).
@@ -148,9 +155,11 @@ impl DiffusionGcn {
         // Self term.
         let mut out = linear_term(x, w_self, self.in_dim, self.out_dim);
 
-        // Fixed diffusion supports.
+        // Fixed diffusion supports, registered as named input slots so a
+        // plan-compiling caller can promote them to per-replay inputs
+        // (one compiled plan per architecture, any augmentation draw).
         for (p, &wid) in supports.all().iter().zip(&self.w_supports) {
-            let pv = sess.input((*p).clone());
+            let pv = sess.slot_input("support", (*p).clone());
             let px = pv.matmul(x); // [N,N] @ [.., N, C] broadcast
             let w = sess.param(wid);
             out = out.add(linear_term(px, w, self.in_dim, self.out_dim));

@@ -6,7 +6,7 @@ use urcl_core::persist::{copy_store_checked, Checkpoint};
 use urcl_models::Backbone;
 use urcl_stdata::Normalizer;
 use urcl_tensor::autodiff::{Session, Tape};
-use urcl_tensor::{ExecPlan, ParamStore, PlanSpec, Tensor};
+use urcl_tensor::{ExecPlan, ParamStore, PlanSpec, PolySpec, Tensor};
 
 use crate::server::ServeError;
 
@@ -24,11 +24,14 @@ pub struct ModelSnapshot {
     normalizer: Normalizer,
     description: String,
     generation: u64,
-    /// Forward-only [`ExecPlan`]s keyed by batched input shape, compiled
-    /// lazily and shared across every shard thread holding this snapshot.
-    /// Parameters are immutable for the snapshot's lifetime, so a plan
-    /// never goes stale; it dies with the snapshot on hot-swap.
-    plans: Mutex<Vec<(Vec<usize>, Arc<ExecPlan>)>>,
+    /// Forward-only [`ExecPlan`]s compiled lazily and shared across every
+    /// shard thread holding this snapshot. Plans are batch-polymorphic,
+    /// so the first batch's compile serves every admission-controlled
+    /// batch size; the list grows only if poly compilation degrades to
+    /// mono for an architecture. Parameters are immutable for the
+    /// snapshot's lifetime, so a plan never goes stale; it dies with the
+    /// snapshot on hot-swap.
+    plans: Mutex<Vec<Arc<ExecPlan>>>,
 }
 
 impl ModelSnapshot {
@@ -65,10 +68,11 @@ impl ModelSnapshot {
         })
     }
 
-    /// Returns the forward-only plan for `x`'s shape, compiling it on
-    /// first sight (the per-shape cost every subsequent batch of that
-    /// shape amortizes away). `x` itself seeds the recording pass; only
-    /// its shape keys the cache.
+    /// Returns a forward-only plan accepting `x`, compiling on first
+    /// sight. The compile records the forward pass twice (at `x`'s batch
+    /// size and, over a zero proxy, at one more) and abstracts the batch
+    /// dim, so one compiled plan replays at every batch size the batcher
+    /// forms. `x` itself seeds the recording pass; only its shape matters.
     ///
     /// Activation-kernel selection (see
     /// [`urcl_tensor::FastActGuard`]) happens at *replay* time on the
@@ -77,25 +81,43 @@ impl ModelSnapshot {
     /// the same bits each would get from a fresh tape.
     pub fn forward_plan<B: Backbone + ?Sized>(&self, model: &B, x: &Tensor) -> Arc<ExecPlan> {
         let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some((_, plan)) = plans.iter().find(|(s, _)| s == x.shape()) {
+        if let Some(plan) = plans.iter().find(|p| p.accepts(&[x])) {
             return Arc::clone(plan);
         }
         let _compile_sp = urcl_trace::span("plan_compile");
-        let tape = Tape::new();
-        let mut sess = Session::new(&tape, &self.store);
-        let xv = sess.input(x.clone());
-        let pred = model.forward(&mut sess, xv);
-        let binds = sess.into_bindings();
+        let record = |x: &Tensor| {
+            let tape = Tape::new();
+            let (inputs, outputs, binds);
+            {
+                let mut sess = Session::new(&tape, &self.store);
+                let xv = sess.input(x.clone());
+                let pred = model.forward(&mut sess, xv);
+                inputs = vec![xv.index()];
+                outputs = vec![pred.index()];
+                binds = sess.into_bindings();
+            }
+            (tape, inputs, outputs, binds)
+        };
+        let (tape0, inputs, outputs, binds) = record(x);
+        let b0 = x.shape()[0];
+        let mut xs = x.shape().to_vec();
+        xs[0] = b0 + 1;
+        let (tape1, _, _, _) = record(&Tensor::zeros(&xs));
         let plan = Arc::new(ExecPlan::compile(
-            &tape,
+            &tape0,
             &PlanSpec {
                 root: None,
-                inputs: &[xv.index()],
-                outputs: &[pred.index()],
+                inputs: &inputs,
+                outputs: &outputs,
                 bindings: &binds,
+                poly: Some(PolySpec {
+                    tape: &tape1,
+                    batch0: b0,
+                    batch1: b0 + 1,
+                }),
             },
         ));
-        plans.push((x.shape().to_vec(), Arc::clone(&plan)));
+        plans.push(Arc::clone(&plan));
         plan
     }
 

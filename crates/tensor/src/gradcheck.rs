@@ -70,6 +70,7 @@ where
                 inputs: &spec_inputs,
                 outputs: &[],
                 bindings: &[],
+                poly: None,
             },
         );
         let (l, grads) = train.run_training(&store, &[x]);
@@ -96,6 +97,7 @@ where
                 inputs: &spec_inputs,
                 outputs: &[loss.index()],
                 bindings: &[],
+                poly: None,
             },
         )
     });

@@ -60,9 +60,12 @@ pub use parallel::{
 };
 pub use pool::{
     buffer_pool_stats, pool_poison_enabled, pooling_enabled, reset_buffer_pool_stats, set_pool_poison,
-    set_pooling, BufferPoolStats,
+    set_pooling, trim_excess, BufferPoolStats,
 };
-pub use plan::{plan_enabled, plan_stats, reset_plan_stats, set_plan, ExecPlan, PlanSpec, PlanStats};
+pub use plan::{
+    note_plan_cache_entries, note_plan_cache_eviction, plan_enabled, plan_stats, reset_plan_stats,
+    set_plan, ExecPlan, PlanSpec, PlanStats, PolySpec,
+};
 pub use simd::{active_isa, detected_isa, set_simd, simd_enabled, Isa};
 pub use params::{ParamId, ParamStore};
 pub use rng::Rng;

@@ -1,6 +1,10 @@
-//! Compiled execution plans: record one autodiff tape for a fixed
-//! (model, batch-shape) pair, compile it once, then replay it every step
-//! without re-recording the graph.
+//! Compiled execution plans: record one autodiff tape for a model,
+//! compile it once, then replay it every step without re-recording the
+//! graph. Plans can be **batch-polymorphic** — compiled against a
+//! symbolic batch dimension so one plan serves every replay-grown batch
+//! size — and accept **dynamic inputs beyond parameters** (graph
+//! supports, contrastive masks) so per-step augmentation draws replay
+//! through the same plan instead of forcing an interpreter fallback.
 //!
 //! ## Why
 //!
@@ -64,7 +68,7 @@ use crate::pool;
 use crate::shape::numel;
 use crate::tensor::Tensor;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 // ---------------------------------------------------------------- toggle
 
@@ -111,6 +115,8 @@ static FUSED_STAGES: AtomicU64 = AtomicU64::new(0);
 static DEAD_EDGES: AtomicU64 = AtomicU64::new(0);
 static BUFFER_MOVES: AtomicU64 = AtomicU64::new(0);
 static VALUES_DROPPED: AtomicU64 = AtomicU64::new(0);
+static CACHE_ENTRIES: AtomicU64 = AtomicU64::new(0);
+static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Cumulative plan-execution statistics since process start (or the last
 /// [`reset_plan_stats`]), exported by `urcl-trace` as the `plan` object.
@@ -133,6 +139,11 @@ pub struct PlanStats {
     /// Intermediate values dropped at their precomputed last use (and
     /// recycled into the buffer pool), summed over replays.
     pub values_dropped: u64,
+    /// Current number of plans held by the trainer's bounded cache
+    /// (a gauge — the trainer updates it on insert/evict/clear).
+    pub cache_entries: u64,
+    /// Plans evicted from the trainer's bounded cache since reset.
+    pub cache_evictions: u64,
 }
 
 /// Reads the cumulative plan counters.
@@ -144,6 +155,8 @@ pub fn plan_stats() -> PlanStats {
         dead_edges_skipped: DEAD_EDGES.load(Ordering::Relaxed),
         buffer_moves: BUFFER_MOVES.load(Ordering::Relaxed),
         values_dropped: VALUES_DROPPED.load(Ordering::Relaxed),
+        cache_entries: CACHE_ENTRIES.load(Ordering::Relaxed),
+        cache_evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
     }
 }
 
@@ -155,6 +168,19 @@ pub fn reset_plan_stats() {
     DEAD_EDGES.store(0, Ordering::Relaxed);
     BUFFER_MOVES.store(0, Ordering::Relaxed);
     VALUES_DROPPED.store(0, Ordering::Relaxed);
+    CACHE_ENTRIES.store(0, Ordering::Relaxed);
+    CACHE_EVICTIONS.store(0, Ordering::Relaxed);
+}
+
+/// Records the current size of the trainer's bounded plan cache (a
+/// gauge: the latest call wins).
+pub fn note_plan_cache_entries(n: u64) {
+    CACHE_ENTRIES.store(n, Ordering::Relaxed);
+}
+
+/// Counts one eviction from the trainer's bounded plan cache.
+pub fn note_plan_cache_eviction() {
+    CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
 }
 
 // ------------------------------------------------------------------ spec
@@ -179,6 +205,30 @@ pub struct PlanSpec<'a> {
     /// these leaves read the *current* value from the [`ParamStore`]
     /// passed at replay time.
     pub bindings: &'a [(ParamId, usize)],
+    /// Optional second recording of the *same* step graph at a different
+    /// batch size, enabling a batch-polymorphic plan. See [`PolySpec`].
+    pub poly: Option<PolySpec<'a>>,
+}
+
+/// Second recording for a batch-polymorphic compile: the caller records
+/// the identical step graph twice, at batch sizes `batch0` (the primary
+/// tape handed to [`ExecPlan::compile`]) and `batch1 = batch0 + 1` (this
+/// tape; dummy data values are fine — only shapes are read). The compiler
+/// checks the recordings are op-for-op identical and derives, for every
+/// node dimension, the affine form `k + c·b` in the symbolic batch `b`
+/// fitting both recordings. Two adjacent batch sizes pin an affine form
+/// exactly, so every compile-time shape decision checked against both
+/// recordings holds for all `b`. If any check fails (structure diverges,
+/// a dimension is not affine in the batch, or a *captured* constant turns
+/// out batch-dependent) the plan silently degrades to a mono-shape plan
+/// for `batch0` — correct, just not shared across batch sizes.
+pub struct PolySpec<'a> {
+    /// The second recording, at `batch1`.
+    pub tape: &'a Tape,
+    /// Batch size of the primary recording.
+    pub batch0: usize,
+    /// Batch size of `tape`; must be `batch0 + 1`.
+    pub batch1: usize,
 }
 
 /// Where a node's forward value comes from at replay time.
@@ -342,7 +392,17 @@ fn op_inputs(op: &Op, out: &mut Vec<usize>) {
 /// threads behind an `Arc`.
 pub struct ExecPlan {
     ops: Vec<Op>,
+    /// Shapes of the primary recording (batch size `base_batch` for a
+    /// poly plan; the only valid shapes for a mono plan).
     shapes: Vec<Vec<usize>>,
+    /// Per-dimension affine forms `k + c·b` in the symbolic batch `b`;
+    /// `None` for mono-shape plans.
+    forms: Option<Vec<Vec<(usize, usize)>>>,
+    /// Batch size the primary recording was made at (0 for mono plans).
+    base_batch: usize,
+    /// Materialized shape sets for batch sizes other than `base_batch`,
+    /// built on first use and shared across replays and threads.
+    scaled: Mutex<Vec<(usize, Arc<Vec<Vec<usize>>>)>>,
     source: Vec<Source>,
     captured: Vec<Tensor>,
     bindings: Vec<(ParamId, usize)>,
@@ -372,6 +432,24 @@ pub struct ExecPlan {
     dead_edges: u64,
     static_moves: u64,
     static_drops: u64,
+}
+
+/// The shape set one replay executes against: the compile-time shapes
+/// (mono plans, or a poly plan at its recorded batch), or a materialized
+/// per-batch set shared through the plan's scaled-shape cache.
+enum ReplayShapes<'a> {
+    Base(&'a [Vec<usize>]),
+    Scaled(Arc<Vec<Vec<usize>>>),
+}
+
+impl std::ops::Deref for ReplayShapes<'_> {
+    type Target = [Vec<usize>];
+    fn deref(&self) -> &[Vec<usize>] {
+        match self {
+            ReplayShapes::Base(s) => s,
+            ReplayShapes::Scaled(s) => s,
+        }
+    }
 }
 
 impl ExecPlan {
@@ -409,6 +487,11 @@ impl ExecPlan {
             .map(|nd| nd.value.shape().to_vec())
             .collect();
 
+        // --- Batch-polymorphic second recording (see [`PolySpec`]):
+        // check the two recordings agree op-for-op, then fit the
+        // per-dimension affine forms. `None` keeps the plan mono-shape.
+        let mut poly = spec.poly.as_ref().and_then(|p| poly_forms(&ops, &shapes, p));
+
         // --- Sources: where does each node's value come from at replay?
         let mut source = vec![Source::Computed; n];
         let mut captured = Vec::new();
@@ -441,6 +524,21 @@ impl ExecPlan {
             }
         }
         drop(nodes);
+
+        // A captured constant is recorded once and reused at every batch
+        // size, so its shape must be batch-independent (equal in both
+        // recordings ⇔ affine coefficient 0). A batch-dependent constant
+        // the caller did not promote to an input (e.g. a contrastive mask
+        // in a graph compiled without slot promotion) degrades the plan
+        // to mono-shape rather than replaying with a stale value.
+        if let Some((shapes1, _)) = &poly {
+            let stale_capture = (0..n)
+                .any(|i| matches!(source[i], Source::Captured(_)) && shapes1[i] != shapes[i]);
+            if stale_capture {
+                poly = None;
+            }
+        }
+        let poly_shapes = poly.as_ref().map(|(s1, _)| s1.as_slice());
 
         // --- useful[i]: a gradient flowing into node i can reach a
         // trainable leaf, so the backward pass must produce it.
@@ -649,8 +747,15 @@ impl ExecPlan {
                     {
                         NodeExec::MoveDetach(*a)
                     }
+                    // Same-shape in *both* recordings: per-dim affine
+                    // forms equal at two adjacent batches are equal at
+                    // every batch, so the direct-loop fast path stays
+                    // exact for any replay size.
                     Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Div(a, b)
-                        if shapes[*a] == shapes[i] && shapes[*b] == shapes[i] =>
+                        if shapes[*a] == shapes[i]
+                            && shapes[*b] == shapes[i]
+                            && poly_shapes
+                                .map_or(true, |s1| s1[*a] == s1[i] && s1[*b] == s1[i]) =>
                     {
                         let kind = match &ops[i] {
                             Op::Add(..) => BinKind::Add,
@@ -738,6 +843,9 @@ impl ExecPlan {
                 || shapes[a] != shapes[i]
                 || shapes[i].len() != 3
                 || shapes[b][..] != [1, shapes[i][1], 1]
+                // The channel-bias pattern must hold at every batch size.
+                || poly_shapes
+                    .is_some_and(|s1| s1[a] != s1[i] || s1[b][..] != [1, s1[i][1], 1])
             {
                 continue;
             }
@@ -817,9 +925,19 @@ impl ExecPlan {
         }
 
         COMPILES.fetch_add(1, Ordering::Relaxed);
+        let (forms, base_batch) = match poly {
+            Some((_, forms)) => (
+                Some(forms),
+                spec.poly.as_ref().expect("poly accepted without a spec").batch0,
+            ),
+            None => (None, 0),
+        };
         ExecPlan {
             ops,
             shapes,
+            forms,
+            base_batch,
+            scaled: Mutex::new(Vec::new()),
             source,
             captured,
             bindings: spec.bindings.to_vec(),
@@ -868,32 +986,108 @@ impl ExecPlan {
             .collect()
     }
 
-    fn check_inputs(&self, inputs: &[&Tensor]) {
-        assert_eq!(
-            inputs.len(),
-            self.input_nodes.len(),
-            "plan expects {} inputs, got {}",
-            self.input_nodes.len(),
-            inputs.len()
-        );
-        for (k, (&t, &idx)) in inputs.iter().zip(&self.input_nodes).enumerate() {
-            assert_eq!(
-                t.shape(),
-                &self.shapes[idx][..],
-                "plan input {k} shape mismatch (compile a new plan for new shapes)"
-            );
+    /// True when the plan was compiled batch-polymorphic: one compile
+    /// serves every batch size consistent with its affine shape forms.
+    pub fn is_poly(&self) -> bool {
+        self.forms.is_some()
+    }
+
+    /// Infers the symbolic batch size from the replay inputs (poly
+    /// plans) or checks exact shape equality (mono plans). `Err` carries
+    /// the mismatch description.
+    fn try_batch(&self, inputs: &[&Tensor]) -> Result<usize, String> {
+        if inputs.len() != self.input_nodes.len() {
+            return Err(format!(
+                "plan expects {} inputs, got {}",
+                self.input_nodes.len(),
+                inputs.len()
+            ));
         }
+        let Some(forms) = &self.forms else {
+            for (k, (&t, &idx)) in inputs.iter().zip(&self.input_nodes).enumerate() {
+                if t.shape() != &self.shapes[idx][..] {
+                    return Err(format!(
+                        "plan input {k} shape mismatch (compile a new plan for new shapes)"
+                    ));
+                }
+            }
+            return Ok(self.base_batch);
+        };
+        let mut batch: Option<usize> = None;
+        for (k, (&t, &idx)) in inputs.iter().zip(&self.input_nodes).enumerate() {
+            let form = &forms[idx];
+            let shape = t.shape();
+            if shape.len() != form.len() {
+                return Err(format!("plan input {k} rank mismatch"));
+            }
+            for (j, (&d, &(k0, c))) in shape.iter().zip(form).enumerate() {
+                if c == 0 {
+                    if d != k0 {
+                        return Err(format!(
+                            "plan input {k} dim {j}: expected {k0}, got {d}"
+                        ));
+                    }
+                    continue;
+                }
+                let num = d
+                    .checked_sub(k0)
+                    .filter(|num| num % c == 0 && num / c > 0)
+                    .ok_or_else(|| {
+                        format!("plan input {k} dim {j}: {d} not on the batch form {k0}+{c}b")
+                    })?;
+                let b = num / c;
+                match batch {
+                    Some(prev) if prev != b => {
+                        return Err(format!(
+                            "plan inputs disagree on the batch size ({prev} vs {b})"
+                        ))
+                    }
+                    _ => batch = Some(b),
+                }
+            }
+        }
+        Ok(batch.unwrap_or(self.base_batch))
+    }
+
+    /// True when `inputs` can replay through this plan: exact shape match
+    /// for a mono plan, one consistent batch size for a poly plan.
+    pub fn accepts(&self, inputs: &[&Tensor]) -> bool {
+        self.try_batch(inputs).is_ok()
+    }
+
+    /// Resolves the shape set this replay executes against, materializing
+    /// (and caching) the affine forms at the inferred batch size — the
+    /// "lifetime rescale": the drop/move/fusion schedule is index-based
+    /// and batch-free, so only buffer extents change between batches.
+    fn shapes_for(&self, inputs: &[&Tensor]) -> ReplayShapes<'_> {
+        let b = self.try_batch(inputs).unwrap_or_else(|e| panic!("{e}"));
+        if self.forms.is_none() || b == self.base_batch {
+            return ReplayShapes::Base(&self.shapes);
+        }
+        let mut cache = self.scaled.lock().unwrap();
+        if let Some((_, s)) = cache.iter().find(|(b2, _)| *b2 == b) {
+            return ReplayShapes::Scaled(Arc::clone(s));
+        }
+        let forms = self.forms.as_ref().expect("checked above");
+        let shapes: Vec<Vec<usize>> = forms
+            .iter()
+            .map(|f| f.iter().map(|&(k, c)| k + c * b).collect())
+            .collect();
+        let arc = Arc::new(shapes);
+        cache.push((b, Arc::clone(&arc)));
+        ReplayShapes::Scaled(arc)
     }
 
     /// Replays the forward pass and returns clones of the output nodes'
     /// values, in spec order. Parameters are read from `store` by
     /// reference; `inputs` substitute the spec's input nodes positionally
-    /// and must match the compiled shapes exactly.
+    /// and must match the compiled shapes (exactly for mono plans, up to
+    /// the symbolic batch size for poly plans).
     pub fn run_forward(&self, store: &ParamStore, inputs: &[&Tensor]) -> Vec<Tensor> {
-        self.check_inputs(inputs);
+        let shapes = self.shapes_for(inputs);
         let mut values: Vec<Option<Tensor>> = Vec::new();
         values.resize_with(self.ops.len(), || None);
-        self.forward(&mut values, store, inputs);
+        self.forward(&mut values, store, inputs, &shapes);
         self.note_replay();
         self.outputs
             .iter()
@@ -910,12 +1104,12 @@ impl ExecPlan {
     /// parameter values and calling [`Tape::backward`].
     pub fn run_training(&self, store: &ParamStore, inputs: &[&Tensor]) -> (Tensor, Gradients) {
         let root = self.root.expect("run_training on a forward-only plan");
-        self.check_inputs(inputs);
+        let shapes = self.shapes_for(inputs);
         let mut values: Vec<Option<Tensor>> = Vec::new();
         values.resize_with(self.ops.len(), || None);
-        self.forward(&mut values, store, inputs);
+        self.forward(&mut values, store, inputs, &shapes);
         let loss = self.value(&values, store, inputs, root).clone();
-        let grads = self.backward(&mut values, store, inputs, root);
+        let grads = self.backward(&mut values, store, inputs, root, &shapes);
         self.note_replay();
         (loss, Gradients::from_raw(grads))
     }
@@ -954,6 +1148,7 @@ impl ExecPlan {
         values: &mut [Option<Tensor>],
         store: &ParamStore,
         inputs: &[&Tensor],
+        shapes: &[Vec<usize>],
     ) {
         let tanh_fn: fn(f32) -> f32 = if crate::fastact::fast_activations_enabled() {
             crate::fastact::tanh_fast
@@ -977,7 +1172,7 @@ impl ExecPlan {
                         self.value(values, store, inputs, *src),
                         stages,
                         *par,
-                        &self.shapes[i],
+                        &shapes[i],
                         tanh_fn,
                     );
                     values[i] = Some(out);
@@ -988,7 +1183,7 @@ impl ExecPlan {
                         self.value(values, store, inputs, *a),
                         self.value(values, store, inputs, *b),
                         *par,
-                        &self.shapes[i],
+                        &shapes[i],
                     );
                     values[i] = Some(out);
                 }
@@ -996,7 +1191,7 @@ impl ExecPlan {
                     let t = values[*a]
                         .take()
                         .unwrap_or_else(|| panic!("plan lifetime bug: move of dropped node {a}"));
-                    values[i] = Some(t.reshape(&self.shapes[i]));
+                    values[i] = Some(t.reshape(&shapes[i]));
                 }
                 NodeExec::MoveDetach(a) => {
                     let t = values[*a]
@@ -1009,6 +1204,7 @@ impl ExecPlan {
                         values,
                         store,
                         inputs,
+                        shapes,
                         *conv,
                         Some(*bias),
                         &mut panels,
@@ -1017,10 +1213,10 @@ impl ExecPlan {
                 }
                 NodeExec::General => {
                     let out = match self.conv_group[i] {
-                        Some(_) => {
-                            self.conv_forward_shared(values, store, inputs, i, None, &mut panels)
-                        }
-                        None => self.eval_general(values, store, inputs, i),
+                        Some(_) => self.conv_forward_shared(
+                            values, store, inputs, shapes, i, None, &mut panels,
+                        ),
+                        None => self.eval_general(values, store, inputs, shapes, i),
                     };
                     values[i] = Some(out);
                 }
@@ -1055,6 +1251,7 @@ impl ExecPlan {
         values: &[Option<Tensor>],
         store: &ParamStore,
         inputs: &[&Tensor],
+        shapes: &[Vec<usize>],
         conv: usize,
         bias: Option<usize>,
         panels: &mut Vec<(u32, pool::Buffer)>,
@@ -1073,8 +1270,8 @@ impl ExecPlan {
         let w = self.value(values, store, inputs, *weight);
         let (b, cin) = (x.shape()[0], x.shape()[1]);
         let k = w.shape()[2];
-        let t_out = self.shapes[conv][2];
-        let n_out = numel(&self.shapes[conv]);
+        let t_out = shapes[conv][2];
+        let n_out = numel(&shapes[conv]);
         if pool::pooling_enabled()
             && t_out < crate::gemm::NR
             && cin * k <= crate::gemm::KC
@@ -1089,7 +1286,7 @@ impl ExecPlan {
             // The scatter writes every slot, so no zero-fill is needed.
             let mut out = pool::take_uninit(n_out);
             Tensor::conv1d_apply_cols(w, cols, b, t_out, bias_data, &mut out);
-            Tensor::from_vec(out, &self.shapes[conv])
+            Tensor::from_vec(out, &shapes[conv])
         } else {
             let y = x.conv1d(w, *dilation, *pad_left);
             match bias {
@@ -1107,6 +1304,7 @@ impl ExecPlan {
         values: &[Option<Tensor>],
         store: &ParamStore,
         inputs: &[&Tensor],
+        shapes: &[Vec<usize>],
         i: usize,
     ) -> Tensor {
         let v = |a: usize| self.value(values, store, inputs, a);
@@ -1146,7 +1344,7 @@ impl ExecPlan {
             }
             Op::MatMul(a, b) => v(*a).matmul(v(*b)),
             Op::Permute(a, perm) => v(*a).permute(perm),
-            Op::Reshape(a) => v(*a).clone().reshape(&self.shapes[i]),
+            Op::Reshape(a) => v(*a).clone().reshape(&shapes[i]),
             Op::SumAxes {
                 input,
                 axes,
@@ -1185,10 +1383,11 @@ impl ExecPlan {
         store: &ParamStore,
         inputs: &[&Tensor],
         root: usize,
+        shapes: &[Vec<usize>],
     ) -> Vec<Option<Tensor>> {
         let mut grads: Vec<Option<Tensor>> = Vec::new();
         grads.resize_with(self.ops.len(), || None);
-        grads[root] = Some(Tensor::ones(&self.shapes[root]));
+        grads[root] = Some(Tensor::ones(&shapes[root]));
         let reuse = pool::pooling_enabled();
         let prof = crate::opprof::op_profile_enabled();
         let uf = |a: usize| self.useful[a];
@@ -1207,29 +1406,29 @@ impl ExecPlan {
                     let (a, b) = (*a, *b);
                     match (uf(a), uf(b)) {
                         (true, true) => {
-                            if reuse && self.shapes[a] == self.shapes[i] {
+                            if reuse && shapes[a] == shapes[i] {
                                 accumulate_ref(&mut grads, a, &g);
                             } else {
-                                accumulate(&mut grads, a, g.reduce_to_shape(&self.shapes[a]));
+                                accumulate(&mut grads, a, g.reduce_to_shape(&shapes[a]));
                             }
-                            if reuse && self.shapes[b] == self.shapes[i] {
+                            if reuse && shapes[b] == shapes[i] {
                                 accumulate(&mut grads, b, g); // final edge: move, not clone
                             } else {
-                                accumulate(&mut grads, b, g.reduce_to_shape(&self.shapes[b]));
+                                accumulate(&mut grads, b, g.reduce_to_shape(&shapes[b]));
                             }
                         }
                         (true, false) => {
-                            if reuse && self.shapes[a] == self.shapes[i] {
+                            if reuse && shapes[a] == shapes[i] {
                                 accumulate(&mut grads, a, g);
                             } else {
-                                accumulate(&mut grads, a, g.reduce_to_shape(&self.shapes[a]));
+                                accumulate(&mut grads, a, g.reduce_to_shape(&shapes[a]));
                             }
                         }
                         (false, true) => {
-                            if reuse && self.shapes[b] == self.shapes[i] {
+                            if reuse && shapes[b] == shapes[i] {
                                 accumulate(&mut grads, b, g);
                             } else {
-                                accumulate(&mut grads, b, g.reduce_to_shape(&self.shapes[b]));
+                                accumulate(&mut grads, b, g.reduce_to_shape(&shapes[b]));
                             }
                         }
                         (false, false) => unreachable!("node reached with no useful edge"),
@@ -1242,39 +1441,39 @@ impl ExecPlan {
                     // evaluating b's (which borrows g) first lets a's
                     // identity edge move g instead of cloning it.
                     if uf(b) && (a != b || !uf(a)) {
-                        if reuse && self.shapes[b] == self.shapes[i] {
+                        if reuse && shapes[b] == shapes[i] {
                             fused_scale_acc(&mut grads, b, &g, -1.0);
                         } else {
                             accumulate(
                                 &mut grads,
                                 b,
-                                g.scale(-1.0).reduce_to_shape(&self.shapes[b]),
+                                g.scale(-1.0).reduce_to_shape(&shapes[b]),
                             );
                         }
                         if uf(a) {
-                            if reuse && self.shapes[a] == self.shapes[i] {
+                            if reuse && shapes[a] == shapes[i] {
                                 accumulate(&mut grads, a, g);
                             } else {
-                                accumulate(&mut grads, a, g.reduce_to_shape(&self.shapes[a]));
+                                accumulate(&mut grads, a, g.reduce_to_shape(&shapes[a]));
                             }
                         }
                     } else {
                         // a == b (or only a useful): keep interpreter order.
                         if uf(a) {
-                            if reuse && self.shapes[a] == self.shapes[i] {
+                            if reuse && shapes[a] == shapes[i] {
                                 accumulate_ref(&mut grads, a, &g);
                             } else {
-                                accumulate(&mut grads, a, g.reduce_to_shape(&self.shapes[a]));
+                                accumulate(&mut grads, a, g.reduce_to_shape(&shapes[a]));
                             }
                         }
                         if uf(b) {
-                            if reuse && self.shapes[b] == self.shapes[i] {
+                            if reuse && shapes[b] == shapes[i] {
                                 fused_scale_acc(&mut grads, b, &g, -1.0);
                             } else {
                                 accumulate(
                                     &mut grads,
                                     b,
-                                    g.scale(-1.0).reduce_to_shape(&self.shapes[b]),
+                                    g.scale(-1.0).reduce_to_shape(&shapes[b]),
                                 );
                             }
                         }
@@ -1282,7 +1481,7 @@ impl ExecPlan {
                 }
                 Op::Mul(a, b) => {
                     let (a, b) = (*a, *b);
-                    if reuse && self.shapes[a] == self.shapes[i] && self.shapes[b] == self.shapes[i]
+                    if reuse && shapes[a] == shapes[i] && shapes[b] == shapes[i]
                     {
                         if uf(a) {
                             fused_mul_acc(&mut grads, a, &g, self.value(values, store, inputs, b));
@@ -1294,20 +1493,20 @@ impl ExecPlan {
                         if uf(a) {
                             let ga = g
                                 .mul(self.value(values, store, inputs, b))
-                                .reduce_to_shape(&self.shapes[a]);
+                                .reduce_to_shape(&shapes[a]);
                             accumulate(&mut grads, a, ga);
                         }
                         if uf(b) {
                             let gb = g
                                 .mul(self.value(values, store, inputs, a))
-                                .reduce_to_shape(&self.shapes[b]);
+                                .reduce_to_shape(&shapes[b]);
                             accumulate(&mut grads, b, gb);
                         }
                     }
                 }
                 Op::Div(a, b) => {
                     let (a, b) = (*a, *b);
-                    if reuse && self.shapes[a] == self.shapes[i] && self.shapes[b] == self.shapes[i]
+                    if reuse && shapes[a] == shapes[i] && shapes[b] == shapes[i]
                     {
                         if uf(a) {
                             fused_map2(
@@ -1332,7 +1531,7 @@ impl ExecPlan {
                         if uf(a) {
                             let ga = g
                                 .div(self.value(values, store, inputs, b))
-                                .reduce_to_shape(&self.shapes[a]);
+                                .reduce_to_shape(&shapes[a]);
                             accumulate(&mut grads, a, ga);
                         }
                         if uf(b) {
@@ -1341,7 +1540,7 @@ impl ExecPlan {
                                 .mul(self.value(values, store, inputs, a))
                                 .div(&bv.mul(bv))
                                 .scale(-1.0)
-                                .reduce_to_shape(&self.shapes[b]);
+                                .reduce_to_shape(&shapes[b]);
                             accumulate(&mut grads, b, gb);
                         }
                     }
@@ -1458,19 +1657,19 @@ impl ExecPlan {
                     let (a, b) = (*a, *b);
                     if uf(a) {
                         let ga = g.matmul_nt(self.value(values, store, inputs, b));
-                        let ga = if reuse && ga.shape() == &self.shapes[a][..] {
+                        let ga = if reuse && ga.shape() == &shapes[a][..] {
                             ga
                         } else {
-                            ga.reduce_to_shape(&self.shapes[a])
+                            ga.reduce_to_shape(&shapes[a])
                         };
                         accumulate(&mut grads, a, ga);
                     }
                     if uf(b) {
                         let gb = self.value(values, store, inputs, a).matmul_tn(&g);
-                        let gb = if reuse && gb.shape() == &self.shapes[b][..] {
+                        let gb = if reuse && gb.shape() == &shapes[b][..] {
                             gb
                         } else {
-                            gb.reduce_to_shape(&self.shapes[b])
+                            gb.reduce_to_shape(&shapes[b])
                         };
                         accumulate(&mut grads, b, gb);
                     }
@@ -1483,14 +1682,14 @@ impl ExecPlan {
                     accumulate(&mut grads, *a, g.permute(&inv));
                 }
                 Op::Reshape(a) => {
-                    accumulate(&mut grads, *a, g.reshape(&self.shapes[*a]));
+                    accumulate(&mut grads, *a, g.reshape(&shapes[*a]));
                 }
                 Op::SumAxes {
                     input,
                     axes,
                     keepdim,
                 } => {
-                    let in_shape = &self.shapes[*input];
+                    let in_shape = &shapes[*input];
                     let keep_shape: Vec<usize> = {
                         let mut s = in_shape.clone();
                         for &a in axes {
@@ -1503,12 +1702,12 @@ impl ExecPlan {
                     accumulate(&mut grads, *input, expanded);
                 }
                 Op::SumAll(a) => {
-                    let full = Tensor::full(&self.shapes[*a], g.item());
+                    let full = Tensor::full(&shapes[*a], g.item());
                     accumulate(&mut grads, *a, full);
                 }
                 Op::MeanAll(a) => {
-                    let n = numel(&self.shapes[*a]).max(1) as f32;
-                    let full = Tensor::full(&self.shapes[*a], g.item() / n);
+                    let n = numel(&shapes[*a]).max(1) as f32;
+                    let full = Tensor::full(&shapes[*a], g.item() / n);
                     accumulate(&mut grads, *a, full);
                 }
                 Op::Softmax(a, axis) => {
@@ -1521,7 +1720,7 @@ impl ExecPlan {
                 Op::Concat { inputs: parts, axis } => {
                     let mut start = 0;
                     for &inp in parts {
-                        let len = self.shapes[inp][*axis];
+                        let len = shapes[inp][*axis];
                         if uf(inp) {
                             let part = g.narrow(*axis, start, len);
                             accumulate(&mut grads, inp, part);
@@ -1535,7 +1734,7 @@ impl ExecPlan {
                     start,
                     len,
                 } => {
-                    let dg = narrow_scatter(&g, &self.shapes[*input], *axis, *start, *len);
+                    let dg = narrow_scatter(&g, &shapes[*input], *axis, *start, *len);
                     accumulate(&mut grads, *input, dg);
                 }
                 Op::Conv1d {
@@ -1548,7 +1747,7 @@ impl ExecPlan {
                     if uf(input) {
                         let dx = conv1d_backward_dx(
                             &g,
-                            &self.shapes[input],
+                            &shapes[input],
                             self.value(values, store, inputs, weight),
                             *dilation,
                             *pad_left,
@@ -1557,14 +1756,14 @@ impl ExecPlan {
                     }
                     if uf(weight) {
                         let x = self.value(values, store, inputs, input);
-                        let t_out = self.shapes[i][2];
+                        let t_out = shapes[i][2];
                         // Panel sharing applies exactly when the dw GEMM
                         // lowering would run (`conv1d_backward_dw`'s own
                         // guard); the shared panel holds the same values
                         // each member would build privately, so bits match.
                         let dw = match self.conv_group[i] {
                             Some(gid) if reuse && t_out < crate::gemm::NR => {
-                                let k = self.shapes[weight][2];
+                                let k = shapes[weight][2];
                                 if !dw_panels.iter().any(|(g2, _)| *g2 == gid) {
                                     dw_panels.push((
                                         gid,
@@ -1576,14 +1775,14 @@ impl ExecPlan {
                                 conv1d_backward_dw_with_cols(
                                     &g,
                                     x.shape(),
-                                    &self.shapes[weight],
+                                    &shapes[weight],
                                     cols,
                                 )
                             }
                             _ => conv1d_backward_dw(
                                 &g,
                                 x,
-                                &self.shapes[weight],
+                                &shapes[weight],
                                 *dilation,
                                 *pad_left,
                             ),
@@ -1690,6 +1889,51 @@ fn exec_bin(kind: BinKind, a: &Tensor, b: &Tensor, par: bool, out_shape: &[usize
     Tensor::from_vec(data, out_shape)
 }
 
+/// Validates a [`PolySpec`] against the primary recording and fits the
+/// per-dimension affine forms `k + c·b`. Returns the second recording's
+/// shapes (used by the compile-time shape guards) plus the forms, or
+/// `None` when the recordings diverge structurally or a dimension is not
+/// affine in the batch — in which case the plan stays mono-shape.
+fn poly_forms(
+    ops: &[Op],
+    shapes: &[Vec<usize>],
+    p: &PolySpec<'_>,
+) -> Option<(Vec<Vec<usize>>, Vec<Vec<(usize, usize)>>)> {
+    assert_eq!(
+        p.batch1,
+        p.batch0 + 1,
+        "poly recordings must be at adjacent batch sizes"
+    );
+    let nodes1 = p.tape.nodes.borrow();
+    if nodes1.len() < ops.len() {
+        return None;
+    }
+    if ops.iter().zip(nodes1.iter()).any(|(op, nd)| *op != nd.op) {
+        return None;
+    }
+    let shapes1: Vec<Vec<usize>> = nodes1[..ops.len()]
+        .iter()
+        .map(|nd| nd.value.shape().to_vec())
+        .collect();
+    drop(nodes1);
+    let mut forms = Vec::with_capacity(shapes.len());
+    for (s0, s1) in shapes.iter().zip(&shapes1) {
+        if s0.len() != s1.len() {
+            return None;
+        }
+        let mut f = Vec::with_capacity(s0.len());
+        for (&d0, &d1) in s0.iter().zip(s1) {
+            // d = k + c·b fit through (batch0, d0) and (batch0+1, d1);
+            // shrinking or super-linear dims have no valid (k, c) ≥ 0.
+            let c = d1.checked_sub(d0)?;
+            let k = d0.checked_sub(c.checked_mul(p.batch0)?)?;
+            f.push((k, c));
+        }
+        forms.push(f);
+    }
+    Some((shapes1, forms))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1746,6 +1990,7 @@ mod tests {
                     inputs: &[xv.index(), yv.index()],
                     outputs: &[],
                     bindings: &binds,
+                    poly: None,
                 },
             )
         };
@@ -1787,6 +2032,7 @@ mod tests {
                 inputs: &[],
                 outputs: &[],
                 bindings: &binds,
+                poly: None,
             },
         );
         assert!(plan.dead_edges >= 1, "support edge should be dead");
@@ -1816,6 +2062,7 @@ mod tests {
                 inputs: &[xv.index()],
                 outputs: &[y.index()],
                 bindings: &[],
+                poly: None,
             },
         );
         assert!(plan.fused_stages >= 3, "chain of 4 should fuse 3 stages");
@@ -1855,6 +2102,7 @@ mod tests {
                 inputs: &[],
                 outputs: &[],
                 bindings: &binds,
+                poly: None,
             },
         );
         let (l0, g0) = plan.run_training(&store, &[]);
@@ -1864,5 +2112,127 @@ mod tests {
         let (l1, g1) = plan.run_training(&store, &[]);
         assert_eq!(l1.item(), 9.0);
         assert_eq!(g1.by_index(binds[0].1).unwrap().data(), &[6.0]);
+    }
+
+    /// One batch-polymorphic plan (recorded at batches 2 and 3) replays
+    /// bitwise against the interpreter at unseen batch sizes, with no
+    /// recompilation.
+    #[test]
+    fn poly_plan_replays_at_unseen_batches() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from_u64(21);
+        let w = store.add("w", rng.uniform_tensor(&[3, 4], -1.0, 1.0));
+        let b = store.add("b", rng.uniform_tensor(&[4], -1.0, 1.0));
+        let record = |store: &ParamStore, x: &Tensor, y: &Tensor| {
+            let tape = Tape::new();
+            let mut sess = Session::new(&tape, store);
+            let xv = sess.input(x.clone());
+            let yv = sess.input(y.clone());
+            let wv = sess.param(w);
+            let bv = sess.param(b);
+            let pred = xv.matmul(wv).add(bv).tanh();
+            let loss = pred.sub(yv).abs().mean_all();
+            let root = loss.index();
+            let inputs = vec![xv.index(), yv.index()];
+            let binds = sess.into_bindings();
+            (tape, inputs, binds, root)
+        };
+        let x2 = rng.uniform_tensor(&[2, 3], -1.0, 1.0);
+        let y2 = rng.uniform_tensor(&[2, 4], -1.0, 1.0);
+        let (t0, in0, binds0, root0) = record(&store, &x2, &y2);
+        // Second recording at batch 3; only shapes matter, zeros are fine.
+        let (t1, _, _, _) = record(&store, &Tensor::zeros(&[3, 3]), &Tensor::zeros(&[3, 4]));
+        let compiles_before = plan_stats().compiles;
+        let plan = ExecPlan::compile(
+            &t0,
+            &PlanSpec {
+                root: Some(root0),
+                inputs: &in0,
+                outputs: &[],
+                bindings: &binds0,
+                poly: Some(PolySpec {
+                    tape: &t1,
+                    batch0: 2,
+                    batch1: 3,
+                }),
+            },
+        );
+        assert!(plan.is_poly());
+        for bsz in [5usize, 2, 7, 3] {
+            let x = rng.uniform_tensor(&[bsz, 3], -1.0, 1.0);
+            let y = rng.uniform_tensor(&[bsz, 4], -1.0, 1.0);
+            assert!(plan.accepts(&[&x, &y]));
+            // Interpreter reference at this batch size.
+            let tape = Tape::new();
+            let mut sess = Session::new(&tape, &store);
+            let xv = sess.input(x.clone());
+            let yv = sess.input(y.clone());
+            let wv = sess.param(w);
+            let bv = sess.param(b);
+            let loss = xv.matmul(wv).add(bv).tanh().sub(yv).abs().mean_all();
+            let gi = tape.backward(loss);
+            let binds = sess.into_bindings();
+            let (lp, gp) = plan.run_training(&store, &[&x, &y]);
+            assert_eq!(lp.item().to_bits(), loss.value().item().to_bits());
+            for (k, &(_, idx)) in binds.iter().enumerate() {
+                let a = gp.by_index(plan.bindings()[k].1).unwrap();
+                let b = gi.by_index(idx).unwrap();
+                for (av, bv) in a.data().iter().zip(b.data()) {
+                    assert_eq!(av.to_bits(), bv.to_bits());
+                }
+            }
+        }
+        assert_eq!(
+            plan_stats().compiles,
+            compiles_before + 1,
+            "batch churn must not recompile a poly plan"
+        );
+        // A mismatched rank or off-form shape is rejected, not replayed.
+        let bad = Tensor::zeros(&[2, 5]);
+        assert!(!plan.accepts(&[&bad, &Tensor::zeros(&[2, 4])]));
+    }
+
+    /// A batch-dependent constant that was *not* promoted to an input
+    /// degrades the plan to mono-shape: replaying it at a new batch size
+    /// with a stale captured value would be wrong, so only the recorded
+    /// batch is accepted.
+    #[test]
+    fn stale_capture_degrades_to_mono() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed_from_u64(22);
+        let w = store.add("w", rng.uniform_tensor(&[3, 3], -1.0, 1.0));
+        let record = |store: &ParamStore, bsz: usize| {
+            let tape = Tape::new();
+            let mut sess = Session::new(&tape, store);
+            let x = Tensor::zeros(&[bsz, 3]);
+            let xv = sess.input(x);
+            let wv = sess.param(w);
+            // Batch-dependent mask recorded as a plain captured constant.
+            let mask = sess.input(Tensor::ones(&[bsz, 3]));
+            let loss = xv.matmul(wv).mul(mask).mean_all();
+            let root = loss.index();
+            let inputs = vec![xv.index()];
+            let binds = sess.into_bindings();
+            (tape, inputs, binds, root)
+        };
+        let (t0, in0, binds0, root0) = record(&store, 2);
+        let (t1, _, _, _) = record(&store, 3);
+        let plan = ExecPlan::compile(
+            &t0,
+            &PlanSpec {
+                root: Some(root0),
+                inputs: &in0,
+                outputs: &[],
+                bindings: &binds0,
+                poly: Some(PolySpec {
+                    tape: &t1,
+                    batch0: 2,
+                    batch1: 3,
+                }),
+            },
+        );
+        assert!(!plan.is_poly());
+        assert!(plan.accepts(&[&Tensor::zeros(&[2, 3])]));
+        assert!(!plan.accepts(&[&Tensor::zeros(&[3, 3])]));
     }
 }

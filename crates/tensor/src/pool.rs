@@ -396,6 +396,45 @@ pub fn trim_thread_pool() {
     FREE.with(|f| f.borrow_mut().clear());
 }
 
+/// Shrinks the current thread's free lists until at most
+/// `max_resident_f32` elements remain, dropping buffers from the largest
+/// length buckets first (deterministic order: length descending, newest
+/// buffer in a bucket first). Free lists are keyed by exact length, so a
+/// batch-polymorphic plan replaying at a new batch size strands the old
+/// size's buffers; trimming at a quiesce point (the trainer does it per
+/// period) bounds that residue without the full-flush alloc storm of
+/// [`trim_thread_pool`]. Only hit/miss accounting is affected — never
+/// values — so trimming is bitwise-neutral.
+pub fn trim_excess(max_resident_f32: usize) {
+    FREE.with(|f| {
+        let mut map = f.borrow_mut();
+        let mut resident: usize = map
+            .values()
+            .flat_map(|bucket| bucket.iter().map(|b| b.len()))
+            .sum();
+        if resident <= max_resident_f32 {
+            return;
+        }
+        let mut lens: Vec<usize> = map.keys().copied().collect();
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        for len in lens {
+            let Some(bucket) = map.get_mut(&len) else { continue };
+            while resident > max_resident_f32 {
+                match bucket.pop() {
+                    Some(b) => resident -= b.len(),
+                    None => break,
+                }
+            }
+            if bucket.is_empty() {
+                map.remove(&len);
+            }
+            if resident <= max_resident_f32 {
+                return;
+            }
+        }
+    });
+}
+
 /// Number of `f32` elements resident in the current thread's free lists.
 pub fn thread_pool_resident_f32() -> usize {
     FREE.with(|f| {
@@ -616,6 +655,26 @@ mod tests {
         recycle(take_uninit(256));
         assert_eq!(thread_pool_resident_f32(), 256);
         trim_thread_pool();
+        assert_eq!(thread_pool_resident_f32(), 0);
+        set_pooling(prev);
+    }
+
+    #[test]
+    fn trim_excess_drops_largest_buckets_first() {
+        let _guard = lock();
+        let prev = set_pooling(true);
+        trim_thread_pool();
+        recycle(take_uninit(64));
+        recycle(take_uninit(512));
+        recycle(take_uninit(128));
+        assert_eq!(thread_pool_resident_f32(), 704);
+        // Budget big enough: nothing dropped.
+        trim_excess(704);
+        assert_eq!(thread_pool_resident_f32(), 704);
+        // Drops the 512 bucket first, keeping the small buckets.
+        trim_excess(200);
+        assert_eq!(thread_pool_resident_f32(), 192);
+        trim_excess(0);
         assert_eq!(thread_pool_resident_f32(), 0);
         set_pooling(prev);
     }

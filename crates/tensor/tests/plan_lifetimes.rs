@@ -26,7 +26,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 use urcl_tensor::autodiff::{Session, Tape, Var};
 use urcl_tensor::{
     set_pool_poison, set_pooling, set_simd, set_threads, Adam, ExecPlan, Optimizer, ParamId,
-    ParamStore, PlanSpec, Rng, Tensor,
+    ParamStore, PlanSpec, PolySpec, Rng, Tensor,
 };
 
 fn lock() -> MutexGuard<'static, ()> {
@@ -145,6 +145,7 @@ fn run_engine(
                 inputs: &[x.index()],
                 outputs: &[],
                 bindings: &binds,
+                poly: None,
             },
         );
         let fwd = ExecPlan::compile(
@@ -154,6 +155,7 @@ fn run_engine(
                 inputs: &[x.index()],
                 outputs: &[aux.index()],
                 bindings: &binds,
+                poly: None,
             },
         );
         Some((train, fwd))
@@ -303,4 +305,177 @@ fn conv_share_group_panels_survive_pool_poisoning() {
 
 fn meta_of(dilation: usize, pad_left: usize) -> Vec<usize> {
     vec![dilation, pad_left]
+}
+
+/// Graph with a second, non-batch dynamic input: a `[d, d]` mixing mask
+/// standing in for the trainer's promoted augmentation slots (graph
+/// supports, contrastive masks). `x` is batch-led, `m` is not — exactly
+/// the mixed-input shape profile a poly plan must keep straight.
+fn build_masked<'t, 's>(
+    sess: &mut Session<'t, 's>,
+    params: &[ParamId],
+    xs: &[Var<'t>],
+    _meta: &[usize],
+) -> (Var<'t>, Var<'t>) {
+    let (x, m) = (xs[0], xs[1]); // [b, d], [d, d]
+    let h = x
+        .tanh()
+        .matmul(m)
+        .add(x.matmul(sess.param(params[0])))
+        .relu();
+    let g = h.matmul(m.softmax(1)).sigmoid().mul(h);
+    (g.abs().mean_all(), g)
+}
+
+/// Trains over a schedule that churns BOTH the batch size and the mask
+/// tensor per step, replaying one batch-polymorphic plan (dual-recorded
+/// at batch 3 and 4). Observables as raw bits, same layout as
+/// [`run_engine`].
+fn run_masked(
+    store0: &ParamStore,
+    params: &[ParamId],
+    steps: &[(Tensor, Tensor)],
+    use_plan: bool,
+) -> Vec<u32> {
+    let mut store = store0.clone();
+    let mut opt = Adam::new(1e-3);
+    let mut out = Vec::new();
+
+    let compiled = if use_plan {
+        let record = |x: &Tensor, m: &Tensor| {
+            let tape = Tape::new();
+            let (root, aux_idx, inputs, binds);
+            {
+                let mut sess = Session::new(&tape, &store);
+                let xv = sess.input(x.clone());
+                let mv = sess.input(m.clone());
+                let (loss, aux) = build_masked(&mut sess, params, &[xv, mv], &[]);
+                root = loss.index();
+                aux_idx = aux.index();
+                inputs = vec![xv.index(), mv.index()];
+                binds = sess.into_bindings();
+            }
+            (tape, root, aux_idx, inputs, binds)
+        };
+        let (x0, m0) = &steps[0];
+        let b0 = x0.shape()[0];
+        let d = x0.shape()[1];
+        let (tape0, root, aux, inputs, binds) = record(x0, m0);
+        let (tape1, _, _, _, _) = record(&Tensor::zeros(&[b0 + 1, d]), m0);
+        let train = ExecPlan::compile(
+            &tape0,
+            &PlanSpec {
+                root: Some(root),
+                inputs: &inputs,
+                outputs: &[],
+                bindings: &binds,
+                poly: Some(PolySpec {
+                    tape: &tape1,
+                    batch0: b0,
+                    batch1: b0 + 1,
+                }),
+            },
+        );
+        let fwd = ExecPlan::compile(
+            &tape0,
+            &PlanSpec {
+                root: None,
+                inputs: &inputs,
+                outputs: &[aux],
+                bindings: &binds,
+                poly: Some(PolySpec {
+                    tape: &tape1,
+                    batch0: b0,
+                    batch1: b0 + 1,
+                }),
+            },
+        );
+        assert!(
+            train.is_poly() && fwd.is_poly(),
+            "masked graph failed to compile batch-polymorphically"
+        );
+        Some((train, fwd))
+    } else {
+        None
+    };
+
+    for (x, m) in steps {
+        match &compiled {
+            Some((train, fwd)) => {
+                assert!(
+                    train.accepts(&[x, m]),
+                    "poly plan rejected batch size {}",
+                    x.shape()[0]
+                );
+                bits_of(&mut out, &fwd.run_forward(&store, &[x, m])[0]);
+                store.zero_grads();
+                let (l, grads) = train.run_training(&store, &[x, m]);
+                store.accumulate_grads(train.bindings(), &grads);
+                out.push(l.item().to_bits());
+            }
+            None => {
+                let tape = Tape::new();
+                let mut sess = Session::new(&tape, &store);
+                let xv = sess.input(x.clone());
+                let mv = sess.input(m.clone());
+                let (loss, aux) = build_masked(&mut sess, params, &[xv, mv], &[]);
+                bits_of(&mut out, &tape.value(aux));
+                let grads = tape.backward(loss);
+                let binds = sess.into_bindings();
+                store.zero_grads();
+                store.accumulate_grads(&binds, &grads);
+                out.push(tape.value(loss).item().to_bits());
+            }
+        }
+        opt.step(&mut store);
+    }
+    for &id in params {
+        bits_of(&mut out, store.grad(id));
+        bits_of(&mut out, store.value(id));
+    }
+    out
+}
+
+#[test]
+fn poly_dynamic_input_replay_survives_pool_poisoning() {
+    let _guard = lock();
+    let prev_pool = set_pooling(true);
+    let prev_simd = set_simd(true);
+    let mut rng = Rng::seed_from_u64(0x11FE_7137);
+
+    let d = 5;
+    let mut store = ParamStore::new();
+    let params = vec![store.add("w", rng.uniform_tensor(&[d, d], -0.8, 0.8))];
+    // Batch sizes churn around the recorded pair (3, 4); the mask input
+    // is freshly drawn every step, so each replay rebinds both a new
+    // batch-led shape and a new non-batch dynamic input.
+    let schedule = [3usize, 5, 1, 4, 2, 3];
+    let steps: Vec<(Tensor, Tensor)> = schedule
+        .iter()
+        .map(|&b| {
+            (
+                rng.uniform_tensor(&[b, d], -1.0, 1.0),
+                rng.uniform_tensor(&[d, d], -1.0, 1.0),
+            )
+        })
+        .collect();
+
+    for threads in [1usize, 4] {
+        let prev_threads = set_threads(threads);
+        let reference = run_masked(&store, &params, &steps, false);
+        let prev_poison = set_pool_poison(true);
+        let plan = run_masked(&store, &params, &steps, true);
+        let interp = run_masked(&store, &params, &steps, false);
+        set_pool_poison(prev_poison);
+        set_threads(prev_threads);
+        check_poisoned(&format!("poly dynamic-input plan {threads}t"), &reference, &plan);
+        check_poisoned(
+            &format!("poly dynamic-input interp {threads}t"),
+            &reference,
+            &interp,
+        );
+    }
+
+    set_simd(prev_simd);
+    set_pooling(prev_pool);
 }

@@ -39,11 +39,21 @@ URCL_PLAN=0 cargo test -q --offline -p urcl-tensor
 echo "== plan parity + buffer-lifetime suites (release) =="
 # Architecture-churned graphs and gated-conv share groups replayed
 # through compiled plans, asserted bitwise against per-step re-recorded
-# tapes; the lifetime suite re-runs them under pool NaN-poisoning to
-# surface any use-after-release or read-before-init in the plan's
-# precomputed drop schedule.
+# tapes; the lifetime suite re-runs them under pool NaN-poisoning —
+# including the batch-polymorphic replay with a per-step rebound
+# dynamic input — to surface any use-after-release or read-before-init
+# in the plan's precomputed drop schedule.
 cargo test -q --offline --release -p urcl-tensor \
   --test plan_parity --test plan_lifetimes
+
+echo "== augmented-SSL plan parity: engine duel + churn sweep (release) =="
+# Full tiny augmented run under both engines (bitwise period reports
+# and final params), then a record-vs-replay sweep churning draws,
+# batch sizes and architectures with compile-count assertions. Run
+# twice: plan engine on (default) and force-disabled, so the augmented
+# configuration keeps passing on the pure interpreter too.
+timeout 600 cargo test -q --offline --release --test plan_ssl_parity
+URCL_PLAN=0 timeout 600 cargo test -q --offline --release --test plan_ssl_parity
 
 echo "== rustdoc (warnings are errors) =="
 # Catches broken intra-doc links and, via the per-crate
@@ -86,10 +96,12 @@ fi
 echo "== traced framework run =="
 ./target/release/bench_framework --quick --trace BENCH_trace.json
 
-echo "== train-step throughput smoke (pooling/SIMD determinism) =="
-# Quick schedule: asserts bitwise-identical losses across all six
-# (threads, pooling, simd) cells, zero steady-state pool misses, the
-# SIMD speedup gate and the host-aware thread-scaling gate.
+echo "== train-step throughput smoke (pooling/SIMD/plan determinism) =="
+# Quick schedule: asserts bitwise-identical losses across all
+# (threads, pooling, simd, plan) cells, zero steady-state pool misses,
+# the SIMD speedup gate, the plan duels (task-only and paper-default
+# augmented-SSL, both >= 1.15x), the one-poly-plan-many-batch-sizes
+# zero-recompile check and the host-aware thread-scaling gate.
 ./target/release/bench_train_step --quick
 
 echo "== JSON round-trip + trace schema validation =="

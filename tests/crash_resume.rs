@@ -51,10 +51,10 @@ impl World {
     }
 
     /// Like [`Self::new`], but with spatio-temporal augmentation
-    /// switchable. With augmentation off (the paper's w/o_STA ablation)
-    /// the training graph's structure is a pure function of batch shapes,
-    /// so training steps run through compiled plans when the plan engine
-    /// is on — which is what the mixed-engine sweep needs to exercise.
+    /// switchable (off is the paper's w/o_STA ablation). Augmentation no
+    /// longer decides the execution engine — augmented draws bind to
+    /// promoted plan-input slots — so both settings run compiled plans
+    /// when the plan engine is on.
     fn with_augmentation(init_seed: u64, augmentation: bool) -> Self {
         let mut cfg = DatasetConfig::metr_la().tiny();
         cfg.num_days = 3;
@@ -308,15 +308,16 @@ fn mixed_plan_interpreter_kill_resume_is_bitwise() {
     // after, and vice versa. Every observable must still match the
     // uninterrupted reference.
     //
-    // The worlds run the w/o_STA ablation (augmentation off): with the
-    // graph structure a pure function of batch shapes, training steps
-    // actually go through compiled plans when the engine is on, instead
-    // of falling back to the interpreter as the augmented default does.
+    // The worlds run the paper default (augmentation ON): every draw's
+    // view signals, perturbed supports and contrastive masks bind to the
+    // compiled plan's promoted input slots, so plan-engine runs replay
+    // the augmented-SSL step instead of falling back — exactly the path
+    // a production crash would interrupt.
     //
     // `set_plan` is process-global; flipping it mid-binary is safe
     // precisely because of the contract under test — the flag never
     // changes bits, so concurrently running tests cannot be perturbed.
-    let mut reference = World::with_augmentation(21, false);
+    let mut reference = World::with_augmentation(21, true);
     let mut recorder = Recorder::default();
     let ref_report = match reference.run_to_completion(&mut recorder) {
         RunOutcome::Completed(report) => report,
@@ -333,11 +334,11 @@ fn mixed_plan_interpreter_kill_resume_is_bitwise() {
             let dir = CheckpointDir::new(&dir_path).unwrap();
             let prev = urcl::tensor::set_plan(before);
             let bytes =
-                kill_and_checkpoint_world(&dir, kill_at, World::with_augmentation(21, false));
+                kill_and_checkpoint_world(&dir, kill_at, World::with_augmentation(21, true));
             assert!(bytes > 0);
             urcl::tensor::set_plan(after);
             let (world, report) =
-                resume_from_disk_world(&dir, World::with_augmentation(777, false));
+                resume_from_disk_world(&dir, World::with_augmentation(777, true));
             urcl::tensor::set_plan(prev);
             std::fs::remove_dir_all(&dir_path).ok();
 

@@ -19,20 +19,33 @@ use urcl::trace;
 const GOLDEN_FINAL_MAE: f64 = 23.0244;
 const GOLDEN_TOL: f64 = 0.5;
 
-/// Span paths the trainer instrumentation must produce on every run.
+/// Span paths the trainer instrumentation must produce on every run,
+/// whichever execution engine is active.
 const REQUIRED_SPANS: &[&str] = &[
     "period",
     "period/epoch",
     "period/epoch/step",
-    "period/epoch/step/forward",
-    "period/epoch/step/forward/encode",
-    "period/epoch/step/forward/decode",
-    "period/epoch/step/backward",
     "period/epoch/step/optim",
     "period/epoch/step/replay",
     "period/epoch/step/replay/rmir",
     "period/epoch/step/replay/rmir/virtual_update",
     "period/eval",
+];
+
+/// Spans of the plan engine's step path (compile once, replay every step).
+const PLAN_SPANS: &[&str] = &[
+    "period/epoch/step/plan_compile",
+    "period/epoch/step/plan_compile/encode",
+    "period/epoch/step/plan_compile/decode",
+    "period/epoch/step/plan_exec",
+];
+
+/// Spans of the interpreter's step path (`URCL_PLAN=0`).
+const INTERP_SPANS: &[&str] = &[
+    "period/epoch/step/forward",
+    "period/epoch/step/forward/encode",
+    "period/epoch/step/forward/decode",
+    "period/epoch/step/backward",
 ];
 
 #[test]
@@ -99,7 +112,12 @@ fn traced_pipeline_matches_golden_schema_and_mae() {
 
     // --- span tree ---
     let spans = doc.get("spans").expect("spans");
-    for path in REQUIRED_SPANS {
+    let engine_spans = if urcl::tensor::plan_enabled() {
+        PLAN_SPANS
+    } else {
+        INTERP_SPANS
+    };
+    for path in REQUIRED_SPANS.iter().chain(engine_spans) {
         let sp = spans
             .get(path)
             .unwrap_or_else(|| panic!("missing span {path}"));
@@ -156,6 +174,8 @@ fn traced_pipeline_matches_golden_schema_and_mae() {
         "dead_edges_skipped",
         "buffer_moves",
         "values_dropped",
+        "cache_entries",
+        "cache_evictions",
     ] {
         assert!(
             plan.get(key).and_then(Value::as_u64).is_some(),
@@ -169,6 +189,13 @@ fn traced_pipeline_matches_golden_schema_and_mae() {
         assert!(
             replays >= compiles,
             "every compiled plan should replay at least once ({replays} vs {compiles})"
+        );
+        // Batch-polymorphic plans keep the trainer cache at one entry per
+        // architecture×config; the LRU bound is 8 entries either way.
+        let entries = plan.get("cache_entries").and_then(Value::as_u64).unwrap();
+        assert!(
+            (1..=8).contains(&entries),
+            "trainer plan cache not bounded: {entries} entries"
         );
     }
 

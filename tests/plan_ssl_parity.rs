@@ -1,0 +1,348 @@
+//! Augmented-SSL plan parity: the paper-default training step (task MAE
+//! + weighted GraphCL term over two augmentation draws) must produce
+//! bitwise-identical results whether it re-records a tape every step
+//! (interpreter) or replays ONE compiled batch-polymorphic plan whose
+//! promoted input slots (view tensors, per-view graph supports,
+//! contrastive masks) are rebound per draw.
+//!
+//! Two layers of coverage:
+//!
+//! 1. A full tiny URCL streaming run with augmentation ON, executed once
+//!    per engine (`set_plan(true)` vs `set_plan(false)`): period reports
+//!    and final parameters must agree bit for bit.
+//! 2. A direct record-vs-replay sweep churning augmentation draws, batch
+//!    sizes (poly replay) and architectures (two models alternating),
+//!    asserting the loss parity at every point AND that the whole sweep
+//!    costs exactly one plan compile per architecture.
+//!
+//! Lives in its own integration binary because the engine switch is
+//! process-global.
+
+use urcl::core::{Ablation, Augmentation, AugmentedView, ContinualTrainer, StSimSiam, TrainerConfig};
+use urcl::graph::{random_geometric, SupportSet};
+use urcl::models::{Backbone, GraphWaveNet, GwnConfig};
+use urcl::stdata::{stack_samples, Batch, ContinualSplit, DatasetConfig, Sample, SyntheticDataset};
+use urcl::tensor::autodiff::{Session, Tape};
+use urcl::tensor::{
+    plan_stats, set_plan, ExecPlan, ParamStore, PlanSpec, PolySpec, Rng, Tensor,
+};
+
+const SSL_WEIGHT: f32 = 0.05;
+const K_DIFFUSION: usize = 2;
+const NODES: usize = 12;
+const STEPS: usize = 8;
+const CHANNELS: usize = 2;
+
+// ---------------------------------------------------------------------
+// Layer 1: full streaming run, plan engine vs interpreter.
+// ---------------------------------------------------------------------
+
+struct RunResult {
+    maes: Vec<u32>,
+    losses: Vec<u32>,
+    params: Vec<u32>,
+}
+
+/// One complete augmented tiny URCL run under the given engine; returns
+/// every observable as raw bits.
+fn full_run(plan_on: bool) -> RunResult {
+    let prev = set_plan(plan_on);
+    let mut cfg = DatasetConfig::metr_la().tiny();
+    cfg.num_days = 3;
+    let dataset = SyntheticDataset::generate(cfg);
+    let normalizer = dataset.fit_normalizer();
+    let raw = dataset.continual_split(2);
+    let split = ContinualSplit {
+        base: raw.base.normalized(&normalizer),
+        incremental: raw
+            .incremental
+            .iter()
+            .map(|p| p.normalized(&normalizer))
+            .collect(),
+    };
+    let scale = normalizer.scale(dataset.config.target_channel);
+
+    let mut store = ParamStore::new();
+    let mut rng = Rng::seed_from_u64(47);
+    let mut gcfg = GwnConfig::small(
+        dataset.config.num_nodes,
+        dataset.config.num_channels(),
+        dataset.config.input_steps,
+        dataset.config.output_steps,
+    );
+    gcfg.layers = 2;
+    let model = GraphWaveNet::new(&mut store, &mut rng, &dataset.network, gcfg);
+    let simsiam = StSimSiam::new(&mut store, &mut rng, 32, 32, 0.5);
+    let mut trainer = ContinualTrainer::new(TrainerConfig {
+        epochs_base: 1,
+        epochs_incremental: 1,
+        window_stride: 6,
+        buffer_capacity: 16,
+        rmir_pool: 8,
+        rmir_candidates: 4,
+        seed: 47,
+        ablation: Ablation {
+            augmentation: true,
+            ..Ablation::default()
+        },
+        ..TrainerConfig::default()
+    });
+    let report = trainer.run(
+        &model,
+        Some(&simsiam),
+        &mut store,
+        &dataset.network,
+        &split,
+        &dataset.config,
+        scale,
+    );
+    set_plan(prev);
+
+    let mut params = Vec::new();
+    for id in store.ids() {
+        params.extend(store.value(id).data().iter().map(|v| v.to_bits()));
+    }
+    RunResult {
+        maes: report.sets.iter().map(|s| s.mae.to_bits()).collect(),
+        losses: report
+            .sets
+            .iter()
+            .flat_map(|s| s.loss_curve.iter().map(|v| v.to_bits()))
+            .collect(),
+        params,
+    }
+}
+
+#[test]
+fn augmented_run_is_bitwise_identical_across_engines() {
+    let on = full_run(true);
+    let off = full_run(false);
+    assert_eq!(on.maes, off.maes, "period MAEs diverged across engines");
+    assert_eq!(on.losses, off.losses, "loss curves diverged across engines");
+    assert_eq!(
+        on.params.len(),
+        off.params.len(),
+        "parameter counts diverged"
+    );
+    assert_eq!(on.params, off.params, "final parameters diverged across engines");
+}
+
+// ---------------------------------------------------------------------
+// Layer 2: direct record-vs-replay sweep with draw/batch/arch churn.
+// ---------------------------------------------------------------------
+
+struct Arch {
+    store: ParamStore,
+    model: GraphWaveNet,
+    simsiam: StSimSiam,
+}
+
+fn make_arch(net: &urcl::graph::SensorNetwork, layers: usize, seed: u64) -> Arch {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let mut cfg = GwnConfig::small(NODES, CHANNELS, STEPS, 1);
+    cfg.layers = layers;
+    let latent = cfg.base.latent;
+    let model = GraphWaveNet::new(&mut store, &mut rng, net, cfg);
+    let simsiam = StSimSiam::new(&mut store, &mut rng, latent, latent, 0.5);
+    Arch {
+        store,
+        model,
+        simsiam,
+    }
+}
+
+fn make_batch(rng: &mut Rng, b: usize) -> Batch {
+    let samples: Vec<Sample> = (0..b)
+        .map(|_| Sample {
+            x: rng.uniform_tensor(&[STEPS, NODES, CHANNELS], 0.0, 1.0),
+            y: rng.uniform_tensor(&[1, NODES], 0.0, 1.0),
+        })
+        .collect();
+    stack_samples(&samples)
+}
+
+struct RecordedSsl {
+    tape: Tape,
+    root: usize,
+    inputs: Vec<usize>,
+    binds: Vec<(urcl::tensor::ParamId, usize)>,
+    view_slots: usize,
+}
+
+/// Records the augmented step graph and collects the promoted input
+/// slots in the trainer's binding order: `[x, y, x1, x2, eye, off_mask,
+/// view-1 supports…, view-2 supports…]`.
+fn record_ssl(
+    arch: &Arch,
+    x: &Tensor,
+    y: &Tensor,
+    v1: &AugmentedView,
+    v2: &AugmentedView,
+) -> RecordedSsl {
+    let tape = Tape::new();
+    let (root, inputs, binds, view_slots);
+    {
+        let mut sess = Session::new(&tape, &arch.store);
+        let xv = sess.input(x.clone());
+        let yv = sess.input(y.clone());
+        let x1 = sess.input(v1.x.clone());
+        let x2 = sess.input(v2.x.clone());
+        let mut ins = vec![xv.index(), yv.index(), x1.index(), x2.index()];
+        let task = arch.model.forward(&mut sess, xv).sub(yv).abs().mean_all();
+        let ssl = arch.simsiam.loss_from_vars(
+            &mut sess,
+            &arch.model,
+            x1,
+            v1.supports.as_ref(),
+            x2,
+            v2.supports.as_ref(),
+        );
+        let total = task.add(ssl.scale(SSL_WEIGHT));
+        ins.extend(sess.slot_nodes("ssl.eye"));
+        ins.extend(sess.slot_nodes("ssl.off_mask"));
+        let s1 = sess.slot_nodes_prefix("ssl.v1.");
+        let s2 = sess.slot_nodes_prefix("ssl.v2.");
+        assert_eq!(s1.len(), s2.len(), "view support slot counts differ");
+        view_slots = s1.len();
+        ins.extend(s1);
+        ins.extend(s2);
+        root = total.index();
+        inputs = ins;
+        binds = sess.into_bindings();
+    }
+    RecordedSsl {
+        tape,
+        root,
+        inputs,
+        binds,
+        view_slots,
+    }
+}
+
+/// Compiles one batch-polymorphic plan for the architecture's augmented
+/// step (recorded at `b0` and over zero proxies at `b0 + 1`).
+fn compile_ssl(arch: &Arch, batch: &Batch, v1: &AugmentedView, v2: &AugmentedView) -> (ExecPlan, usize) {
+    let b0 = batch.x.shape()[0];
+    let rec0 = record_ssl(arch, &batch.x, &batch.y, v1, v2);
+    let mut xs = batch.x.shape().to_vec();
+    let mut ys = batch.y.shape().to_vec();
+    xs[0] = b0 + 1;
+    ys[0] = b0 + 1;
+    let rec1 = record_ssl(
+        arch,
+        &Tensor::zeros(&xs),
+        &Tensor::zeros(&ys),
+        &v1.shape_proxy(b0 + 1),
+        &v2.shape_proxy(b0 + 1),
+    );
+    let plan = ExecPlan::compile(
+        &rec0.tape,
+        &PlanSpec {
+            root: Some(rec0.root),
+            inputs: &rec0.inputs,
+            outputs: &[],
+            bindings: &rec0.binds,
+            poly: Some(PolySpec {
+                tape: &rec1.tape,
+                batch0: b0,
+                batch1: b0 + 1,
+            }),
+        },
+    );
+    (plan, rec0.view_slots)
+}
+
+/// Interpreter reference loss for one draw (no parameter update).
+fn interp_loss(arch: &Arch, batch: &Batch, v1: &AugmentedView, v2: &AugmentedView) -> f32 {
+    let rec = record_ssl(arch, &batch.x, &batch.y, v1, v2);
+    rec.tape.value_at(rec.root).item()
+}
+
+fn ssl_refs<'a>(
+    batch: &'a Batch,
+    v1: &'a AugmentedView,
+    v2: &'a AugmentedView,
+    eye: &'a Tensor,
+    off: &'a Tensor,
+    view_slots: usize,
+    template: Option<&'a SupportSet>,
+) -> Vec<&'a Tensor> {
+    let mut refs = vec![&batch.x, &batch.y, &v1.x, &v2.x, eye, off];
+    for v in [v1, v2] {
+        let set = v
+            .supports
+            .as_ref()
+            .or(template)
+            .expect("backbone exposes no support template");
+        let sup = set.all();
+        for j in 0..view_slots {
+            refs.push(sup[j % sup.len()]);
+        }
+    }
+    refs
+}
+
+#[test]
+fn one_plan_per_arch_serves_every_draw_and_batch_size() {
+    let mut rng = Rng::seed_from_u64(53);
+    let net = random_geometric(NODES, 0.4, &mut rng);
+    let archs = [make_arch(&net, 1, 7), make_arch(&net, 2, 11)];
+
+    // Batch sizes churn around the recorded size 4; SSL batches of 1 are
+    // a structurally different graph and stay on the interpreter, so the
+    // poly sweep starts at 2.
+    let sizes = [4usize, 3, 2, 5, 4];
+    let batches: Vec<Batch> = sizes.iter().map(|&b| make_batch(&mut rng, b)).collect();
+    let draws: Vec<(AugmentedView, AugmentedView)> = batches
+        .iter()
+        .map(|batch| {
+            let (a1, a2) = Augmentation::sample_two(&mut rng);
+            (
+                a1.apply(&batch.x, &net, K_DIFFUSION, &mut rng),
+                a2.apply(&batch.x, &net, K_DIFFUSION, &mut rng),
+            )
+        })
+        .collect();
+
+    let compiles_before = plan_stats().compiles;
+    let plans: Vec<(ExecPlan, usize)> = archs
+        .iter()
+        .map(|arch| compile_ssl(arch, &batches[0], &draws[0].0, &draws[0].1))
+        .collect();
+    let compiled = plan_stats().compiles - compiles_before;
+    assert_eq!(compiled, 2, "expected one plan compile per architecture");
+    for (plan, _) in &plans {
+        assert!(plan.is_poly(), "augmented step failed to compile batch-polymorphically");
+    }
+
+    // Arch-churn sweep: alternate architectures per (batch, draw) point.
+    // Every point must match the interpreter bitwise, through one plan
+    // per architecture and zero further compiles.
+    for (i, (batch, (v1, v2))) in batches.iter().zip(&draws).enumerate() {
+        for (ai, arch) in archs.iter().enumerate() {
+            let (plan, view_slots) = &plans[ai];
+            let (eye, off) = StSimSiam::contrastive_masks(batch.x.shape()[0]);
+            let template = arch.model.support_template();
+            let refs = ssl_refs(batch, v1, v2, &eye, &off, *view_slots, template);
+            assert!(
+                plan.accepts(&refs),
+                "arch {ai} plan rejected batch size {} at point {i}",
+                batch.x.shape()[0]
+            );
+            let (loss, _grads) = plan.run_training(&arch.store, &refs);
+            let reference = interp_loss(arch, batch, v1, v2);
+            assert_eq!(
+                loss.item().to_bits(),
+                reference.to_bits(),
+                "arch {ai} point {i} (batch {}) replay diverged from interpreter",
+                batch.x.shape()[0]
+            );
+        }
+    }
+    assert_eq!(
+        plan_stats().compiles - compiles_before,
+        2,
+        "draw/batch churn forced a recompile"
+    );
+}
